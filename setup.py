@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs to build a wheel for editable installs; this
+offline environment lacks the ``wheel`` backend, so ``python setup.py
+develop`` (or this shim via pip's legacy path) installs the package
+instead.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

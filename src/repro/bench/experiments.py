@@ -1,0 +1,196 @@
+"""One function per table/figure of the paper's evaluation.
+
+Each returns a :class:`~repro.bench.harness.Series` whose
+``scaled_minutes`` are comparable to the paper's y-axes (simulated
+seconds scaled by the record-count ratio).  ``record_count`` trades
+wall-clock time for fidelity; the shapes are stable from a few thousand
+records upward.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bench.harness import RunResult, Series, run_approach, sweep
+from repro.workload.generator import Workload, WorkloadConfig, build_workload
+
+DEFAULT_RECORDS = 20_000
+
+
+def figure_1(record_count: int = DEFAULT_RECORDS) -> Series:
+    """Intro figure: commercial RDBMS behaviour, 3 indexes, 1-15 %.
+
+    The "commercial product" is approximated by the traditional
+    executor with an unsorted delete list (the paper says its prototype
+    ``not sorted/trad`` roughly corresponds to the studied product) and
+    by ``drop & create``.
+    """
+    series = Series(
+        title="Figure 1: bulk deletes on a 3-index table (commercial-style)",
+        x_label="% deleted",
+        x_values=[1, 5, 10, 15],
+    )
+    series.rows = {"not sorted/trad": [], "drop&create": []}
+    for pct in series.x_values:
+        config = WorkloadConfig(
+            record_count=record_count,
+            index_columns=("A", "B", "C"),
+            memory_paper_mb=10.0,
+        )
+        series.rows["not sorted/trad"].append(
+            run_approach("not sorted/trad", config, pct / 100.0)
+        )
+        # A commercial system creates indexes efficiently (sort + bulk
+        # load); the prototype-style "insert" rebuild is Figure 8's story.
+        series.rows["drop&create"].append(
+            run_approach(
+                "drop&create", config, pct / 100.0, dc_create_method="bulk"
+            )
+        )
+    return series
+
+
+def figure_7(record_count: int = DEFAULT_RECORDS) -> Series:
+    """Experiment 1: vary deleted fraction; 1 unclustered index, 5 MB."""
+    return sweep(
+        title="Figure 7: vary deletes, 1 unclustered index, 5 MB memory",
+        x_label="% deleted",
+        x_values=[5, 10, 15, 20],
+        approaches=["sorted/trad", "not sorted/trad", "bulk"],
+        make_config=lambda pct: WorkloadConfig(
+            record_count=record_count,
+            index_columns=("A",),
+            memory_paper_mb=5.0,
+        ),
+        make_fraction=lambda pct: pct / 100.0,
+    )
+
+
+def figure_8(record_count: int = DEFAULT_RECORDS) -> Series:
+    """Experiment 2: vary number of indexes; 15 % deletes."""
+    index_sets = {1: ("A",), 2: ("A", "B"), 3: ("A", "B", "C")}
+    series = sweep(
+        title="Figure 8: vary indexes, 15% deletes, 5 MB memory",
+        x_label="indexes",
+        x_values=[1, 2, 3],
+        approaches=["sorted/trad", "not sorted/trad", "bulk"],
+        make_config=lambda n: WorkloadConfig(
+            record_count=record_count,
+            index_columns=index_sets[n],
+            memory_paper_mb=5.0,
+        ),
+        make_fraction=lambda n: 0.15,
+    )
+    # drop & create needs at least one secondary index to drop, so it
+    # is swept separately (its 1-index point is still defined: there is
+    # simply nothing to drop and it degenerates to sorted/trad).
+    series.rows["drop&create"] = []
+    for n in [1, 2, 3]:
+        config = WorkloadConfig(
+            record_count=record_count,
+            index_columns=index_sets[n],
+            memory_paper_mb=5.0,
+        )
+        series.rows["drop&create"].append(
+            run_approach("drop&create", config, 0.15)
+        )
+    return series
+
+
+def table_1(record_count: int = DEFAULT_RECORDS) -> Series:
+    """Experiment 3: index height 3 vs 4; 15 % deletes, 5 MB memory."""
+    series = Series(
+        title="Table 1: vary index height, 1 unclustered index, 15% deletes",
+        x_label="height",
+        x_values=[3, 4],
+    )
+    approaches = ["sorted/trad", "not sorted/trad", "bulk"]
+    for approach in approaches:
+        series.rows[approach] = []
+    for height in [3, 4]:
+        config = WorkloadConfig(
+            record_count=record_count,
+            index_columns=("A",),
+            memory_paper_mb=5.0,
+            index_height=height,
+        )
+        for approach in approaches:
+            series.rows[approach].append(
+                run_approach(approach, config, 0.15)
+            )
+    return series
+
+
+def figure_9(record_count: int = DEFAULT_RECORDS) -> Series:
+    """Experiment 4: vary main memory; 1 unclustered index, 15 %.
+
+    The workload is run at twice the base scale with a lower memory
+    floor so the three scaled budgets genuinely differ — otherwise the
+    floor that keeps the other experiments honest would clamp them all
+    to the same pool size and flatten the one curve this experiment is
+    about.
+    """
+    return sweep(
+        title="Figure 9: vary memory, 1 unclustered index, 15% deletes",
+        x_label="memory (paper MB)",
+        x_values=[2, 6, 10],
+        approaches=["sorted/trad", "not sorted/trad", "bulk"],
+        make_config=lambda mb: WorkloadConfig(
+            record_count=record_count * 2,
+            index_columns=("A",),
+            memory_paper_mb=float(mb),
+            memory_floor_pages=8,
+        ),
+        make_fraction=lambda mb: 0.15,
+    )
+
+
+def figure_10(record_count: int = DEFAULT_RECORDS) -> Series:
+    """Experiment 5: clustered index I_A; vary deleted fraction."""
+    series = Series(
+        title="Figure 10: clustered index, 1 index, 5 MB memory",
+        x_label="% deleted",
+        x_values=[6, 10, 15, 20],
+    )
+    clustered = lambda: WorkloadConfig(  # noqa: E731
+        record_count=record_count,
+        index_columns=("A",),
+        memory_paper_mb=5.0,
+        clustered_on="A",
+    )
+    unclustered = lambda: WorkloadConfig(  # noqa: E731
+        record_count=record_count,
+        index_columns=("A",),
+        memory_paper_mb=5.0,
+    )
+    series.rows = {
+        "sorted/trad/clust": [],
+        "sorted/trad/unclust": [],
+        "not sorted/trad/clust": [],
+        "bulk": [],
+    }
+    for pct in series.x_values:
+        fraction = pct / 100.0
+        series.rows["sorted/trad/clust"].append(
+            run_approach("sorted/trad", clustered(), fraction)
+        )
+        series.rows["sorted/trad/unclust"].append(
+            run_approach("sorted/trad", unclustered(), fraction)
+        )
+        series.rows["not sorted/trad/clust"].append(
+            run_approach("not sorted/trad", clustered(), fraction)
+        )
+        series.rows["bulk"].append(
+            run_approach("bulk", clustered(), fraction)
+        )
+    return series
+
+
+ALL_EXPERIMENTS = {
+    "figure_1": figure_1,
+    "figure_7": figure_7,
+    "figure_8": figure_8,
+    "table_1": table_1,
+    "figure_9": figure_9,
+    "figure_10": figure_10,
+}

@@ -1,0 +1,61 @@
+"""Published numbers from the paper, for paper-vs-measured reports.
+
+Table 1 is exact; everything else is read off the figures (the paper
+prints no tables for them), so those values carry ~10 % eyeballing
+error.  Units are minutes on the paper's hardware (SUN Ultra 10,
+333 MHz, Seagate Medialist Pro, 1 M x 512 B records).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+# Figure 1 — commercial RDBMS, 500 MB table, 3 indexes, 1/5/10/15 %.
+FIG1_PERCENTS: List[int] = [1, 5, 10, 15]
+FIG1_MINUTES: Dict[str, List[float]] = {
+    "traditional": [10.0, 55.0, 115.0, 170.0],  # "-X 1h 16 min" marker ~
+    "drop&create": [75.0, 76.0, 78.0, 80.0],
+}
+
+# Figure 7 (Experiment 1) — 1 unclustered index, 5 MB memory.
+FIG7_PERCENTS: List[int] = [5, 10, 15, 20]
+FIG7_MINUTES: Dict[str, List[float]] = {
+    "sorted/trad": [28.0, 46.0, 64.65, 84.0],
+    "not sorted/trad": [40.0, 72.0, 102.05, 135.0],
+    "bulk": [24.0, 24.5, 24.87, 26.0],
+}
+
+# Figure 8 (Experiment 2) — 15 % deletes, vary number of indexes.
+FIG8_INDEXES: List[int] = [1, 2, 3]
+FIG8_MINUTES: Dict[str, List[float]] = {
+    "sorted/trad": [64.65, 95.0, 130.0],
+    "not sorted/trad": [102.05, 150.0, 195.0],
+    "drop&create": [float("nan"), 230.0, 350.0],  # needs >= 2 indexes
+    "bulk": [24.87, 28.0, 31.0],
+}
+
+# Table 1 (Experiment 3) — exact values from the paper.
+TAB1_HEIGHTS: List[int] = [3, 4]
+TAB1_MINUTES: Dict[str, List[float]] = {
+    "sorted/bulk": [24.87, 26.79],
+    "not sorted/bulk": [24.87, 26.79],
+    "sorted/trad": [64.65, 80.65],
+    "not sorted/trad": [102.05, 136.09],
+}
+
+# Figure 9 (Experiment 4) — 15 % deletes, vary memory.
+FIG9_MEMORY_MB: List[int] = [2, 6, 10]
+FIG9_MINUTES: Dict[str, List[float]] = {
+    "sorted/trad": [68.0, 64.0, 62.0],
+    "not sorted/trad": [185.0, 125.0, 100.0],
+    "bulk": [25.0, 24.87, 24.5],
+}
+
+# Figure 10 (Experiment 5) — clustered index I_A, vary % deleted.
+FIG10_PERCENTS: List[int] = [6, 10, 15, 20]
+FIG10_MINUTES: Dict[str, List[float]] = {
+    "sorted/trad/clust": [14.0, 17.0, 20.0, 23.0],
+    "sorted/trad/unclust": [30.0, 47.0, 65.0, 85.0],
+    "not sorted/trad/clust": [70.0, 105.0, 150.0, 190.0],
+    "bulk": [22.0, 23.0, 25.0, 27.0],
+}

@@ -1,0 +1,108 @@
+"""ASCII line charts for experiment series.
+
+The paper presents its evaluation as line plots (running time vs. a
+swept parameter).  This renderer draws the same plots in plain text so
+``python -m repro experiment figure_7 --plot`` and the bench reports
+can show the curves, not just the tables — no plotting dependency
+needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import Series
+
+#: Marker per series, assigned in insertion order (mirrors the paper's
+#: point markers).
+MARKERS = "*+xo#@%&"
+
+
+def render_chart(
+    title: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "min",
+) -> str:
+    """Render one line chart as text.
+
+    Values are linearly scaled into a ``width`` x ``height`` grid; each
+    series gets a marker, collisions show the later series' marker.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    points = [v for values in series.values() for v in values
+              if v == v]  # drop NaN
+    if not points:
+        raise ValueError("only NaN values to plot")
+    y_max = max(points)
+    y_min = 0.0
+    span = y_max - y_min or 1.0
+    grid: List[List[str]] = [
+        [" "] * width for _ in range(height)
+    ]
+    n = len(x_values)
+    for si, (name, values) in enumerate(series.items()):
+        marker = MARKERS[si % len(MARKERS)]
+        last: Optional[tuple] = None
+        for i, value in enumerate(values):
+            if value != value:  # NaN
+                last = None
+                continue
+            x = 0 if n == 1 else round(i * (width - 1) / (n - 1))
+            y = height - 1 - round((value - y_min) / span * (height - 1))
+            if last is not None:
+                _draw_segment(grid, last, (x, y), marker)
+            grid[y][x] = marker
+            last = (x, y)
+    lines = [title]
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            label = f"{y_max:8.1f} |"
+        elif row_idx == height - 1:
+            label = f"{y_min:8.1f} |"
+        else:
+            label = "         |"
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    x_axis = "          "
+    labels = [str(x) for x in x_values]
+    if n > 1:
+        for i, text in enumerate(labels):
+            pos = 10 + round(i * (width - 1) / (n - 1)) - len(text) // 2
+            if pos > len(x_axis):
+                x_axis += " " * (pos - len(x_axis))
+            x_axis += text
+    else:
+        x_axis += labels[0]
+    lines.append(x_axis)
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"  [{y_label}]  {legend}")
+    return "\n".join(lines)
+
+
+def _draw_segment(grid, a, b, marker: str) -> None:
+    """Sparse interpolation between consecutive points (dots)."""
+    (x0, y0), (x1, y1) = a, b
+    steps = max(abs(x1 - x0), abs(y1 - y0))
+    for step in range(1, steps):
+        x = x0 + round(step * (x1 - x0) / steps)
+        y = y0 + round(step * (y1 - y0) / steps)
+        if grid[y][x] == " ":
+            grid[y][x] = "."
+
+
+def render_series(series: Series, width: int = 64, height: int = 16) -> str:
+    """Chart a :class:`~repro.bench.harness.Series` (scaled minutes)."""
+    return render_chart(
+        series.title,
+        series.x_values,
+        {name: series.scaled_minutes(name) for name in series.rows},
+        width=width,
+        height=height,
+    )

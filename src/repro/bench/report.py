@@ -1,0 +1,77 @@
+"""Formatting of paper-vs-measured benchmark reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import Series
+
+
+def format_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    columns: Dict[str, Sequence[float]],
+    unit: str = "min",
+) -> str:
+    """Render one experiment as a fixed-width text table."""
+    headers = [x_label] + list(columns)
+    widths = [max(len(h), 12) for h in headers]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    for i, x in enumerate(x_values):
+        cells = [str(x).rjust(widths[0])]
+        for (name, values), width in zip(columns.items(), widths[1:]):
+            value = values[i]
+            if value is None or (isinstance(value, float) and math.isnan(value)):
+                cells.append("-".rjust(width))
+            else:
+                cells.append(f"{value:.2f}".rjust(width))
+        lines.append("  ".join(cells))
+    lines.append(f"(values in {unit})")
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    series: Series,
+    paper_minutes: Dict[str, Sequence[float]],
+    label_map: Optional[Dict[str, str]] = None,
+) -> str:
+    """Interleave the paper's numbers with the measured (scaled) ones.
+
+    ``label_map`` maps measured approach labels to the paper's labels
+    when they differ (e.g. ``bulk`` measured as ``sorted/bulk``).
+    """
+    label_map = label_map or {}
+    columns: Dict[str, List[float]] = {}
+    for approach in series.rows:
+        paper_label = label_map.get(approach, approach)
+        if paper_label in paper_minutes:
+            columns[f"{paper_label} (paper)"] = list(
+                paper_minutes[paper_label]
+            )
+        columns[f"{approach} (ours)"] = series.scaled_minutes(approach)
+    return format_table(
+        series.title, series.x_label, series.x_values, columns
+    )
+
+
+def shape_checks(series: Series) -> List[str]:
+    """Human-readable assertions about the curve shapes.
+
+    These are the qualitative claims the reproduction must preserve:
+    who wins, what grows, what stays flat.
+    """
+    notes: List[str] = []
+    for approach, runs in series.rows.items():
+        first, last = runs[0].scaled_minutes, runs[-1].scaled_minutes
+        trend = "flat"
+        if last > first * 1.5:
+            trend = "growing"
+        elif last < first / 1.5:
+            trend = "shrinking"
+        notes.append(
+            f"{approach}: {first:.1f} -> {last:.1f} min ({trend})"
+        )
+    return notes

@@ -1,0 +1,124 @@
+"""On-page layout of B-link tree nodes.
+
+Every node — leaf or inner — is one disk page:
+
+* header: level (0 = leaf), flags, entry count, high key (an advisory
+  upper-bound hint maintained on splits; single-writer operation never
+  depends on it), and left/right sibling page ids.  Per the B-link organization of Lehman & Yao [10]
+  the nodes of *every* level are chained, which the paper needed both
+  for sequential leaf sweeps and for rebuilding inner levels layer by
+  layer.  We additionally keep a *left* link so free-at-empty unlinking
+  is O(1); the paper's prototype gets the same effect from its parent
+  stack.
+* entries: ``(key, value)`` pairs of two 64-bit integers.  In a leaf the
+  value is a packed RID (or an arbitrary payload integer); in an inner
+  node it is a child page id and ``key`` is the smallest key reachable
+  through that child.
+
+Header layout (little-endian, 32 bytes)::
+
+    u8  level        u8  flags (bit 0: high key present)
+    u16 entry_count  u32 reserved
+    i64 high_key     i64 left_sibling   i64 right_sibling
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import IndexError_
+
+MIN_KEY = -(1 << 63)
+MAX_KEY = (1 << 63) - 1
+
+_HEADER = struct.Struct("<BBHIqqq")
+HEADER_SIZE = _HEADER.size  # 32
+ENTRY_SIZE = 16
+
+_FLAG_HAS_HIGH = 1
+
+#: page id value meaning "no sibling"
+NO_NODE = 0
+
+
+def node_capacity(page_size: int) -> int:
+    """Maximum entries that fit into one node page."""
+    return (page_size - HEADER_SIZE) // ENTRY_SIZE
+
+
+@dataclass
+class Node:
+    """Decoded form of one B-link tree node."""
+
+    page_id: int
+    level: int
+    entries: List[Tuple[int, int]] = field(default_factory=list)
+    left_id: int = NO_NODE
+    right_id: int = NO_NODE
+    high_key: Optional[int] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.entries)
+
+    def keys(self) -> List[int]:
+        return [key for key, _ in self.entries]
+
+    def first_key(self) -> int:
+        if not self.entries:
+            raise IndexError_(f"node {self.page_id} is empty")
+        return self.entries[0][0]
+
+    def last_key(self) -> int:
+        if not self.entries:
+            raise IndexError_(f"node {self.page_id} is empty")
+        return self.entries[-1][0]
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def pack_into(self, data: bytearray) -> None:
+        page_size = len(data)
+        if HEADER_SIZE + ENTRY_SIZE * len(self.entries) > page_size:
+            raise IndexError_(
+                f"node {self.page_id} with {len(self.entries)} entries "
+                f"does not fit a {page_size}-byte page"
+            )
+        flags = _FLAG_HAS_HIGH if self.high_key is not None else 0
+        _HEADER.pack_into(
+            data,
+            0,
+            self.level,
+            flags,
+            len(self.entries),
+            0,
+            self.high_key if self.high_key is not None else 0,
+            self.left_id,
+            self.right_id,
+        )
+        if self.entries:
+            flat: List[int] = []
+            for key, value in self.entries:
+                flat.append(key)
+                flat.append(value)
+            struct.pack_into(f"<{len(flat)}q", data, HEADER_SIZE, *flat)
+
+    @classmethod
+    def unpack_from(cls, page_id: int, data: bytes) -> "Node":
+        level, flags, count, _, high, left, right = _HEADER.unpack_from(data, 0)
+        flat = struct.unpack_from(f"<{2 * count}q", data, HEADER_SIZE)
+        entries = [(flat[2 * i], flat[2 * i + 1]) for i in range(count)]
+        return cls(
+            page_id=page_id,
+            level=level,
+            entries=entries,
+            left_id=left,
+            right_id=right,
+            high_key=high if flags & _FLAG_HAS_HIGH else None,
+        )

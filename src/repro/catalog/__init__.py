@@ -1,0 +1,28 @@
+"""Catalog: schemas, table/index metadata, and the Database facade."""
+
+from repro.catalog.catalog import Catalog, IndexInfo, IndexState, TableInfo
+from repro.catalog.composite import CompositeKeyCodec
+from repro.catalog.statistics import (
+    IndexStatistics,
+    TableStatistics,
+    collect_statistics,
+    collect_table_statistics,
+)
+from repro.catalog.database import Database
+from repro.catalog.schema import Attribute, DataType, TableSchema
+
+__all__ = [
+    "Attribute",
+    "Catalog",
+    "CompositeKeyCodec",
+    "IndexStatistics",
+    "TableStatistics",
+    "collect_statistics",
+    "collect_table_statistics",
+    "Database",
+    "DataType",
+    "IndexInfo",
+    "IndexState",
+    "TableInfo",
+    "TableSchema",
+]

@@ -1,0 +1,117 @@
+"""Catalog statistics for the planner.
+
+The paper's optimizer discussion: the ``bd`` choices are made
+"depending on the size of the table/index, the number of records to be
+deleted, and the size of the main memory buffer pool".  This module
+snapshots exactly those quantities so cost formulas read from a stats
+object instead of poking live storage structures (and so tests can
+construct hypothetical situations for the planner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.catalog.catalog import TableInfo
+from repro.catalog.database import Database
+
+
+@dataclass(frozen=True)
+class IndexStatistics:
+    """Size and shape of one index."""
+
+    name: str
+    column: str
+    entry_count: int
+    leaf_pages: int
+    height: int
+    unique: bool
+    clustered: bool
+
+    @property
+    def entries_per_leaf(self) -> float:
+        return self.entry_count / self.leaf_pages if self.leaf_pages else 0.0
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Size and shape of one table and its indexes."""
+
+    name: str
+    record_count: int
+    heap_pages: int
+    indexes: Dict[str, IndexStatistics] = field(default_factory=dict)
+
+    @property
+    def records_per_page(self) -> float:
+        return self.record_count / self.heap_pages if self.heap_pages else 0.0
+
+    def total_leaf_pages(self) -> int:
+        return sum(ix.leaf_pages for ix in self.indexes.values())
+
+    def selectivity(self, n_deletes: int) -> float:
+        """Fraction of the table a delete list of ``n_deletes`` covers."""
+        if self.record_count == 0:
+            return 0.0
+        return min(1.0, n_deletes / self.record_count)
+
+
+def collect_table_statistics(
+    table: TableInfo, exact: bool = False
+) -> TableStatistics:
+    """Snapshot one table.
+
+    By default leaf-page counts are *estimated* from entry counts and
+    node capacities — free of I/O, which is what a planner must use
+    (walking every leaf chain to plan a statement would charge more I/O
+    than some statements cost).  ``exact=True`` walks the chains, the
+    ANALYZE-style variant for tests and reports.
+    """
+    indexes = {}
+    for ix in table.indexes.values():
+        if not ix.is_btree:
+            hash_index = ix.hash_index
+            indexes[ix.name] = IndexStatistics(
+                name=ix.name,
+                column=ix.column,
+                entry_count=hash_index.entry_count,
+                leaf_pages=(
+                    hash_index.page_count() if exact
+                    else hash_index.bucket_count
+                ),
+                height=1,
+                unique=ix.unique,
+                clustered=False,
+            )
+            continue
+        if exact:
+            leaf_pages = ix.tree.leaf_count()
+        else:
+            per_leaf = max(1, int(ix.tree.leaf_capacity * 0.9))
+            leaf_pages = max(1, -(-ix.tree.entry_count // per_leaf))
+        indexes[ix.name] = IndexStatistics(
+            name=ix.name,
+            column=ix.column,
+            entry_count=ix.tree.entry_count,
+            leaf_pages=leaf_pages,
+            height=ix.tree.height,
+            unique=ix.unique,
+            clustered=ix.clustered,
+        )
+    return TableStatistics(
+        name=table.name,
+        record_count=table.record_count,
+        heap_pages=table.heap.page_count,
+        indexes=indexes,
+    )
+
+
+def collect_statistics(
+    db: Database, exact: bool = False
+) -> Dict[str, TableStatistics]:
+    """Snapshot every table of the database."""
+    return {
+        table.name: collect_table_statistics(table, exact=exact)
+        for table in db.catalog.tables()
+    }

@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``sql [script.sql]`` — run a SQL script against a fresh in-memory
+  database, or start an interactive shell (``EXPLAIN DELETE ...`` shows
+  plans; ``\\stats`` prints I/O counters; ``\\quit`` exits),
+* ``experiment <name>`` — regenerate one of the paper's figures/tables
+  (``figure_1``, ``figure_7``, ``figure_8``, ``table_1``, ``figure_9``,
+  ``figure_10``, or ``all``),
+* ``demo`` — a one-minute tour: build a workload, show the plan, run
+  the bulk delete and the traditional baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import Database
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.report import format_table, shape_checks
+from repro.errors import ReproError
+from repro.sql.interpreter import SqlSession
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    db = Database(page_size=args.page_size,
+                  memory_bytes=args.memory_kb * 1024)
+    session = SqlSession(db)
+    if args.script:
+        with open(args.script) as handle:
+            text = handle.read()
+        for result in session.execute_script(text):
+            _print_result(result)
+        return 0
+    print("repro sql shell — \\quit to exit, \\stats for I/O counters")
+    buffer: List[str] = []
+    while True:
+        try:
+            prompt = "repro> " if not buffer else "  ...> "
+            line = input(prompt)
+        except EOFError:
+            print()
+            return 0
+        stripped = line.strip()
+        if stripped == "\\quit":
+            return 0
+        if stripped == "\\stats":
+            print(db.io_report())
+            continue
+        buffer.append(line)
+        if stripped.endswith(";"):
+            statement = "\n".join(buffer)
+            buffer = []
+            try:
+                for result in session.execute_script(statement):
+                    _print_result(result)
+            except ReproError as exc:
+                print(f"error: {exc}")
+
+
+def _print_result(result) -> None:
+    if result.kind == "select":
+        for row in result.rows:
+            print("  " + "\t".join(str(v) for v in row))
+        print(f"({len(result.rows)} rows)")
+    elif result.kind == "explain":
+        print(result.text)
+    elif result.kind == "ddl":
+        print(result.text)
+    else:
+        print(f"{result.kind}: {result.affected} row(s)")
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = (
+        list(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
+    )
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {name!r}; one of "
+                  f"{', '.join(ALL_EXPERIMENTS)} or 'all'")
+            return 2
+        print(f"running {name} at {args.records} records ...")
+        series = ALL_EXPERIMENTS[name](record_count=args.records)
+        columns = {
+            approach: series.scaled_minutes(approach)
+            for approach in series.rows
+        }
+        print(format_table(series.title, series.x_label,
+                           series.x_values, columns))
+        if args.plot:
+            from repro.bench.plots import render_series
+
+            print()
+            print(render_series(series))
+        for note in shape_checks(series):
+            print("  " + note)
+        print()
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.bench.harness import run_approach
+    from repro.core.operator import render_plan_dag
+    from repro.core.planner import choose_plan
+    from repro.workload.generator import WorkloadConfig, build_workload
+
+    config = WorkloadConfig(record_count=args.records,
+                            index_columns=("A", "B", "C"))
+    print(f"building R with {config.record_count} records "
+          f"(512 B each) and 3 indexes ...")
+    workload = build_workload(config)
+    keys = workload.delete_keys(0.15)
+    plan = choose_plan(workload.db, "R", "A", len(keys),
+                       force_vertical=True)
+    print("\nthe vertical plan (cf. the paper's Figure 3):")
+    print(render_plan_dag(plan))
+    print()
+    bulk = run_approach("bulk", config, 0.15)
+    trad = run_approach("not sorted/trad", config, 0.15)
+    print(f"bulk delete:        {bulk.sim_seconds:8.2f}s simulated "
+          f"({bulk.scaled_minutes:6.1f} paper-scale minutes)")
+    print(f"traditional delete: {trad.sim_seconds:8.2f}s simulated "
+          f"({trad.scaled_minutes:6.1f} paper-scale minutes)")
+    print(f"speedup: {trad.sim_seconds / bulk.sim_seconds:.1f}x")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Efficient Bulk Deletes in Relational Databases "
+        "(ICDE 2001) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sql = sub.add_parser("sql", help="run a SQL script or a shell")
+    p_sql.add_argument("script", nargs="?", help="SQL script file")
+    p_sql.add_argument("--page-size", type=int, default=4096)
+    p_sql.add_argument("--memory-kb", type=int, default=256)
+    p_sql.set_defaults(func=_cmd_sql)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper figure")
+    p_exp.add_argument("name", help="figure_1|figure_7|figure_8|table_1|"
+                                    "figure_9|figure_10|all")
+    p_exp.add_argument("--records", type=int, default=8000)
+    p_exp.add_argument("--plot", action="store_true",
+                       help="draw an ASCII chart of the series")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_demo = sub.add_parser("demo", help="one-minute guided tour")
+    p_demo.add_argument("--records", type=int, default=5000)
+    p_demo.set_defaults(func=_cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,335 @@
+"""Execution of vertical bulk-delete plans.
+
+``execute_plan`` walks the steps of a :class:`BulkDeletePlan` and wires
+the ``bd`` primitives together exactly like the paper's Figure 3/4/5
+DAGs: the driving index turns sorted delete keys into a RID list, the
+RID list (sorted, hashed, or partitioned) drives the base table and the
+remaining indexes, and each structure is touched once, vertically.
+
+``bulk_delete`` is the one-call public entry point: it plans (or takes
+a caller-supplied plan) and executes, falling back to the traditional
+executor when the planner decides record-at-a-time is cheaper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.catalog.catalog import IndexInfo, TableInfo
+from repro.catalog.database import Database
+from repro.core.bulk_ops import (
+    BdResult,
+    bd_heap_hash_probe,
+    bd_heap_sorted_rids,
+    bd_index_hash_probe,
+    bd_index_partitioned,
+    bd_index_sort_merge,
+)
+from repro.core.planner import choose_plan
+from repro.core.plans import (
+    BdMethod,
+    BdPredicate,
+    BulkDeletePlan,
+    StepPlan,
+)
+from repro.errors import PlanningError
+from repro.query.hashtable import BoundedHashSet, HashTableOverflowError
+from repro.query.sort import ExternalSorter
+from repro.storage.disk import DiskStats
+from repro.storage.rid import RID
+
+Row = Tuple[RID, Tuple[object, ...]]
+
+
+@dataclass
+class BulkDeleteOptions:
+    """Execution knobs (reorganization & hygiene)."""
+
+    #: Compact/merge leaf pages during the sweep (paper §2.3).
+    compact_leaves: bool = False
+    #: Use the on-the-fly base-node inner update ([26]) instead of the
+    #: layer-by-layer rebuild.
+    base_node_reorg: bool = False
+    #: Free base-table pages that the delete emptied completely.
+    reclaim_heap_pages: bool = True
+    #: Force all dirty pages to disk at the end (charges the writes).
+    flush_at_end: bool = True
+
+
+@dataclass
+class BulkDeleteResult:
+    """What one bulk delete did and what it cost (simulated)."""
+
+    plan: BulkDeletePlan
+    records_deleted: int = 0
+    step_results: List[BdResult] = field(default_factory=list)
+    elapsed_ms: float = 0.0
+    io: Optional[DiskStats] = None
+    heap_pages_reclaimed: int = 0
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.elapsed_ms / 1000.0
+
+    @property
+    def elapsed_minutes(self) -> float:
+        return self.elapsed_ms / 60000.0
+
+    def summary(self) -> str:
+        lines = [
+            f"deleted {self.records_deleted} records in "
+            f"{self.elapsed_seconds:.2f}s (simulated)"
+        ]
+        for step in self.step_results:
+            lines.append(
+                f"  {step.structure}: -{step.deleted_count} entries, "
+                f"{step.pages_visited} pages visited, "
+                f"{step.pages_freed} freed"
+            )
+        if self.io is not None:
+            lines.append(
+                f"  io: {self.io.reads} reads / {self.io.writes} writes "
+                f"({self.io.random_ios} random)"
+            )
+        return "\n".join(lines)
+
+
+def execute_plan(
+    db: Database,
+    plan: BulkDeletePlan,
+    keys: Sequence[int],
+    options: Optional[BulkDeleteOptions] = None,
+) -> BulkDeleteResult:
+    """Run a vertical plan.  ``keys`` is the delete list (column values)."""
+    options = options or BulkDeleteOptions()
+    table = db.table(plan.table_name)
+    if plan.table_step().method is BdMethod.NESTED_LOOPS:
+        raise PlanningError(
+            "horizontal plans are executed by repro.core.traditional; "
+            "use bulk_delete() for automatic dispatch"
+        )
+    start_ms = db.clock.now_ms
+    io_before = db.disk.stats.snapshot()
+    result = BulkDeleteResult(plan=plan)
+
+    # --- delete keys, sorted once, drive the first bd -----------------
+    sorter = ExternalSorter(db.disk, db.memory_bytes, width=1)
+    sorted_keys = [k for (k,) in sorter.sort((k,) for k in keys)]
+
+    rid_list, driving_result = _produce_rid_list(
+        db, table, plan, sorted_keys, options
+    )
+    if driving_result is not None:
+        result.step_results.append(driving_result)
+
+    # --- RID ordering for the base-table sweep ------------------------
+    if plan.sort_rid_list:
+        rid_sorter = ExternalSorter(db.disk, db.memory_bytes, width=1)
+        rid_list = [r for (r,) in rid_sorter.sort((r,) for r in rid_list)]
+
+    # --- unique indexes before the table (RID probes) -----------------
+    for step in plan.steps_before_table():
+        if step.target == plan.driving_index:
+            continue
+        index = table.index(step.target)
+        rid_set = BoundedHashSet(db.memory_bytes).build(rid_list)
+        result.step_results.append(
+            bd_index_hash_probe(
+                index.tree, rid_set, db.disk, compact=options.compact_leaves
+            )
+        )
+
+    # --- the base table ------------------------------------------------
+    table_step = plan.table_step()
+    if table_step.method is BdMethod.HASH:
+        rid_set = BoundedHashSet(db.memory_bytes).build(rid_list)
+        rows, table_result = bd_heap_hash_probe(table, rid_set, db.disk)
+    else:
+        rids = [RID.unpack(r) for r in rid_list]
+        rows, table_result = bd_heap_sorted_rids(
+            table, rids, db.disk, compact=options.compact_leaves
+        )
+    result.step_results.append(table_result)
+    result.records_deleted = len(rows)
+
+    # --- remaining indexes, fed by projections of the deleted rows ----
+    for step in plan.steps_after_table():
+        index = table.index(step.target)
+        result.step_results.append(
+            _run_index_step(db, table, index, step, rows, rid_list, options)
+        )
+
+    # --- non-B-tree indexes: "updated in the traditional way" (§5) ----
+    for index in table.hash_indexes():
+        hash_result = BdResult(structure=index.name)
+        for rid, values in rows:
+            key = index.key_for(values, table.schema)
+            if index.hash_index.delete(key, rid.pack()):
+                hash_result.deleted.append((key, rid.pack()))
+        db.disk.charge_cpu_records(len(rows))
+        result.step_results.append(hash_result)
+
+    if options.reclaim_heap_pages:
+        result.heap_pages_reclaimed = table.heap.reclaim_empty_pages()
+    if options.flush_at_end:
+        db.flush()
+    result.elapsed_ms = db.clock.now_ms - start_ms
+    result.io = db.disk.stats.delta_since(io_before)
+    return result
+
+
+def _produce_rid_list(
+    db: Database,
+    table: TableInfo,
+    plan: BulkDeletePlan,
+    sorted_keys: Sequence[int],
+    options: BulkDeleteOptions,
+) -> Tuple[List[int], Optional[BdResult]]:
+    """First stage: turn delete keys into packed RIDs.
+
+    With a driving index this is the first ``bd`` (sort/merge on the
+    index's own key); without one, a sequential table scan finds the
+    victims (their RIDs arrive in physical order for free).
+    """
+    if plan.driving_index is not None:
+        index = table.index(plan.driving_index)
+        pairs = [(k, 0) for k in sorted_keys]
+        if options.base_node_reorg:
+            from repro.core.reorg import sweep_with_base_node_reorg
+
+            bd_result = sweep_with_base_node_reorg(
+                index.tree, pairs, db.disk, match_rid=False
+            )
+        else:
+            bd_result = bd_index_sort_merge(
+                index.tree,
+                pairs,
+                db.disk,
+                match_rid=False,
+                compact=options.compact_leaves,
+            )
+        return [rid for _, rid in bd_result.deleted], bd_result
+    key_set: Set[int] = set(sorted_keys)
+    column_idx = table.schema.column_index(plan.column)
+    rid_list: List[int] = []
+    scan_result = BdResult(structure=f"{table.name} (scan)")
+    for page_id, records in table.heap.scan_pages():
+        scan_result.pages_visited += 1
+        db.disk.charge_cpu_records(len(records))
+        for slot, payload in records:
+            values = table.serializer.unpack(payload)
+            if values[column_idx] in key_set:
+                rid_list.append(RID(page_id, slot).pack())
+    return rid_list, scan_result
+
+
+def _run_index_step(
+    db: Database,
+    table: TableInfo,
+    index: IndexInfo,
+    step: StepPlan,
+    rows: Sequence[Row],
+    rid_list: Sequence[int],
+    options: BulkDeleteOptions,
+) -> BdResult:
+    """Apply one post-table index step with its planned method."""
+    if step.method is BdMethod.HASH:
+        try:
+            rid_set = BoundedHashSet(db.memory_bytes).build(rid_list)
+        except HashTableOverflowError:
+            pairs = _project_pairs(table, index, rows)
+            return bd_index_partitioned(
+                index.tree,
+                pairs,
+                db.memory_bytes,
+                db.disk,
+                compact=options.compact_leaves,
+            )
+        return bd_index_hash_probe(
+            index.tree, rid_set, db.disk, compact=options.compact_leaves
+        )
+    if step.method is BdMethod.PARTITIONED_HASH:
+        pairs = _project_pairs(table, index, rows)
+        return bd_index_partitioned(
+            index.tree,
+            pairs,
+            db.memory_bytes,
+            db.disk,
+            compact=options.compact_leaves,
+        )
+    # sort/merge: project (key, rid), sort, sweep.
+    pairs = _project_pairs(table, index, rows)
+    clustered_feed = index.clustered
+    if not clustered_feed:
+        sorter = ExternalSorter(db.disk, db.memory_bytes, width=2)
+        pairs = list(sorter.sort(pairs))
+    else:
+        pairs = sorted(pairs)  # already nearly ordered; cheap
+    if options.base_node_reorg:
+        from repro.core.reorg import sweep_with_base_node_reorg
+
+        return sweep_with_base_node_reorg(
+            index.tree, pairs, db.disk, match_rid=True
+        )
+    return bd_index_sort_merge(
+        index.tree,
+        pairs,
+        db.disk,
+        match_rid=True,
+        compact=options.compact_leaves,
+    )
+
+
+def _project_pairs(
+    table: TableInfo, index: IndexInfo, rows: Sequence[Row]
+) -> List[Tuple[int, int]]:
+    """Project ``(index key, packed RID)`` from the deleted rows.
+
+    Compound indexes pack their column tuple into one key here, after
+    which they are handled exactly like single-column indexes.
+    """
+    return [
+        (index.key_for(values, table.schema), rid.pack())
+        for rid, values in rows
+    ]
+
+
+def bulk_delete(
+    db: Database,
+    table_name: str,
+    column: str,
+    keys: Sequence[int],
+    plan: Optional[BulkDeletePlan] = None,
+    options: Optional[BulkDeleteOptions] = None,
+    prefer_method: Optional[BdMethod] = None,
+    force_vertical: bool = True,
+) -> BulkDeleteResult:
+    """Plan and execute ``DELETE FROM table WHERE column IN keys``.
+
+    With ``force_vertical=False`` the planner may choose the
+    traditional horizontal execution when the delete list is small; the
+    result object is shaped the same either way.
+    """
+    if plan is None:
+        plan = choose_plan(
+            db,
+            table_name,
+            column,
+            len(keys),
+            prefer_method=prefer_method,
+            force_vertical=force_vertical,
+        )
+    if plan.table_step().method is BdMethod.NESTED_LOOPS:
+        from repro.core.traditional import traditional_delete
+
+        trad = traditional_delete(db, table_name, column, keys, presort=True)
+        return BulkDeleteResult(
+            plan=plan,
+            records_deleted=trad.records_deleted,
+            step_results=[],
+            elapsed_ms=trad.elapsed_ms,
+            io=trad.io,
+        )
+    return execute_plan(db, plan, keys, options)

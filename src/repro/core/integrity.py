@@ -1,0 +1,249 @@
+"""Referential integrity for bulk deletes (paper §2.1/§2.2).
+
+"Furthermore, referential integrity constraints from other tables must
+be checked. ... integrity constraints can be processed more efficiently
+using a vertical approach ... We propose to check integrity constraints
+in such a vertical way as early as possible and before deleting records
+from the table and the indices so that no work needs to be undone if an
+integrity constraint fails."
+
+``ConstraintRegistry`` records FOREIGN KEY constraints; a
+:func:`bulk_delete_with_integrity` on a parent table then:
+
+1. finds, *set-oriented and read-only*, every child row referencing a
+   to-be-deleted key (one sequential probe of the child's index when it
+   has one, one scan otherwise) — **before anything is modified**,
+2. for ``RESTRICT`` constraints: aborts with
+   :class:`IntegrityViolationError` if any reference exists (nothing to
+   undo),
+3. for ``CASCADE`` constraints: bulk-deletes the referencing child rows
+   first (recursively — children of children cascade too), then the
+   parent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.catalog.database import Database
+from repro.core.bulk_ops import collect_index_matches
+from repro.core.executor import (
+    BulkDeleteOptions,
+    BulkDeleteResult,
+    bulk_delete,
+)
+from repro.errors import CatalogError, IntegrityViolationError, PlanningError
+
+
+class OnDelete(enum.Enum):
+    """What happens to referencing child rows when a parent row dies."""
+
+    RESTRICT = "restrict"
+    CASCADE = "cascade"
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """``child.child_column`` REFERENCES ``parent.parent_column``."""
+
+    child_table: str
+    child_column: str
+    parent_table: str
+    parent_column: str
+    on_delete: OnDelete = OnDelete.RESTRICT
+
+    def describe(self) -> str:
+        return (
+            f"{self.child_table}.{self.child_column} -> "
+            f"{self.parent_table}.{self.parent_column} "
+            f"ON DELETE {self.on_delete.value.upper()}"
+        )
+
+
+class ConstraintRegistry:
+    """All declared foreign keys of one database."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self._foreign_keys: List[ForeignKey] = []
+
+    def add_foreign_key(
+        self,
+        child_table: str,
+        child_column: str,
+        parent_table: str,
+        parent_column: str,
+        on_delete: OnDelete = OnDelete.RESTRICT,
+    ) -> ForeignKey:
+        """Declare a constraint (tables and columns must exist)."""
+        child = self.db.table(child_table)
+        parent = self.db.table(parent_table)
+        if not child.schema.has_column(child_column):
+            raise CatalogError(
+                f"{child_table} has no column {child_column}"
+            )
+        if not parent.schema.has_column(parent_column):
+            raise CatalogError(
+                f"{parent_table} has no column {parent_column}"
+            )
+        fk = ForeignKey(
+            child_table, child_column, parent_table, parent_column,
+            on_delete,
+        )
+        self._foreign_keys.append(fk)
+        return fk
+
+    def referencing(self, parent_table: str, parent_column: str) -> List[ForeignKey]:
+        return [
+            fk
+            for fk in self._foreign_keys
+            if fk.parent_table == parent_table
+            and fk.parent_column == parent_column
+        ]
+
+    def referencing_table(self, parent_table: str) -> List[ForeignKey]:
+        """Every constraint whose parent is ``parent_table`` (any column)."""
+        return [
+            fk for fk in self._foreign_keys
+            if fk.parent_table == parent_table
+        ]
+
+    def all_constraints(self) -> List[ForeignKey]:
+        return list(self._foreign_keys)
+
+
+@dataclass
+class IntegrityReport:
+    """What the constraint phase of a guarded bulk delete did."""
+
+    checked: List[str] = field(default_factory=list)
+    cascaded: List[BulkDeleteResult] = field(default_factory=list)
+
+    @property
+    def cascade_deleted(self) -> int:
+        return sum(r.records_deleted for r in self.cascaded)
+
+
+def _referenced_values(
+    db: Database,
+    table_name: str,
+    column: str,
+    keys: Sequence[int],
+    needed_columns: Set[str],
+) -> Dict[str, List[int]]:
+    """Values of ``needed_columns`` among the rows about to be deleted.
+
+    For the delete column itself the delete list *is* the value set;
+    other referenced columns require reading the victim rows (one
+    sequential scan, still before any modification).
+    """
+    out: Dict[str, List[int]] = {column: sorted(set(keys))}
+    others = needed_columns - {column}
+    if not others:
+        return out
+    table = db.table(table_name)
+    wanted = set(keys)
+    column_idx = table.schema.column_index(column)
+    collected: Dict[str, Set[int]] = {c: set() for c in others}
+    for _, records in table.heap.scan_pages():
+        db.disk.charge_cpu_records(len(records))
+        for _, payload in records:
+            values = table.serializer.unpack(payload)
+            if values[column_idx] in wanted:
+                for other in others:
+                    collected[other].add(
+                        values[table.schema.column_index(other)]  # type: ignore[arg-type]
+                    )
+    for other, found in collected.items():
+        out[other] = sorted(found)
+    return out
+
+
+def find_referencing_keys(
+    db: Database, fk: ForeignKey, parent_keys: Sequence[int]
+) -> List[int]:
+    """Child-side keys (values of ``fk.child_column``) that reference
+    any of ``parent_keys`` — found set-oriented and read-only."""
+    child = db.table(fk.child_table)
+    wanted = sorted(set(parent_keys))
+    indexes = child.indexes_on(fk.child_column)
+    if indexes:
+        probe = collect_index_matches(indexes[0].tree, wanted, db.disk)
+        return sorted({key for key, _ in probe.deleted})
+    column_idx = child.schema.column_index(fk.child_column)
+    wanted_set = set(wanted)
+    found: Set[int] = set()
+    for _, records in child.heap.scan_pages():
+        db.disk.charge_cpu_records(len(records))
+        for _, payload in records:
+            value = child.serializer.unpack(payload)[column_idx]
+            if value in wanted_set:
+                found.add(value)  # type: ignore[arg-type]
+    return sorted(found)
+
+
+def bulk_delete_with_integrity(
+    db: Database,
+    constraints: ConstraintRegistry,
+    table_name: str,
+    column: str,
+    keys: Sequence[int],
+    options: Optional[BulkDeleteOptions] = None,
+    _visited: Optional[Set[str]] = None,
+) -> Tuple[BulkDeleteResult, IntegrityReport]:
+    """Bulk delete with FK enforcement, constraints checked first.
+
+    Raises :class:`IntegrityViolationError` before any modification when
+    a RESTRICT constraint is referenced; CASCADE constraints delete the
+    child rows first (recursively).  Cycles among CASCADE constraints
+    are rejected.
+    """
+    _visited = _visited if _visited is not None else set()
+    if table_name in _visited:
+        raise PlanningError(
+            f"cascade cycle involving table {table_name}"
+        )
+    report = IntegrityReport()
+    # Phase 1: all checks before any modification (paper §2.2).
+    # A constraint may reference a column other than the delete column;
+    # the victims' values of every referenced column are resolved with
+    # one read-only scan, shared by all such constraints.
+    fks = constraints.referencing_table(table_name)
+    referenced_values = _referenced_values(
+        db, table_name, column, keys,
+        {fk.parent_column for fk in fks},
+    )
+    cascade_work: List[Tuple[ForeignKey, List[int]]] = []
+    for fk in fks:
+        referencing = find_referencing_keys(
+            db, fk, referenced_values[fk.parent_column]
+        )
+        report.checked.append(fk.describe())
+        if not referencing:
+            continue
+        if fk.on_delete is OnDelete.RESTRICT:
+            raise IntegrityViolationError(
+                f"{len(referencing)} value(s) of {fk.child_table}."
+                f"{fk.child_column} still reference keys being deleted "
+                f"({fk.describe()})"
+            )
+        cascade_work.append((fk, referencing))
+    # Phase 2: children first (no dangling references at any point).
+    for fk, referencing in cascade_work:
+        child_result, child_report = bulk_delete_with_integrity(
+            db,
+            constraints,
+            fk.child_table,
+            fk.child_column,
+            referencing,
+            options=options,
+            _visited=_visited | {table_name},
+        )
+        report.cascaded.append(child_result)
+        report.cascaded.extend(child_report.cascaded)
+        report.checked.extend(child_report.checked)
+    # Phase 3: the parent itself.
+    result = bulk_delete(db, table_name, column, keys, options=options)
+    return result, report

@@ -1,0 +1,121 @@
+"""Logical bulk-delete operator DAGs, rendered like the paper's figures.
+
+The paper draws its plans (Figures 3-5) as operator graphs: ``bd``
+operators over tables and indexes, fed by sorts, projections, hash
+builds and range partitions, with split output streams.  This module
+builds the same graph from a :class:`BulkDeletePlan` so EXPLAIN output
+(and the docs) can show the full data flow, not just the step list.
+
+The rendering is a top-down tree with shared inputs annotated — a
+faithful, text-mode version of the figures::
+
+    bd[sort-merge] I_A   <- sort_A(D)
+      |- RID list -> sort_RID -> bd[sort-merge] R
+           |- pi_B -> sort_B -> bd[sort-merge] I_B
+           '- pi_C -> sort_C -> bd[sort-merge] I_C
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.plans import (
+    TABLE_TARGET,
+    BdMethod,
+    BdPredicate,
+    BulkDeletePlan,
+    StepPlan,
+)
+
+
+@dataclass
+class OpNode:
+    """One operator in the logical DAG."""
+
+    label: str
+    children: List["OpNode"] = field(default_factory=list)
+
+    def add(self, child: "OpNode") -> "OpNode":
+        self.children.append(child)
+        return child
+
+    def render(self, indent: str = "") -> List[str]:
+        lines = [f"{indent}{self.label}"]
+        for i, child in enumerate(self.children):
+            last = i == len(self.children) - 1
+            branch = "'- " if last else "|- "
+            extension = "   " if last else "|  "
+            sub = child.render()
+            lines.append(f"{indent}{branch}{sub[0].lstrip()}")
+            for line in sub[1:]:
+                lines.append(f"{indent}{extension}{line}")
+        return lines
+
+
+def _feed_label(step: StepPlan, plan: BulkDeletePlan) -> str:
+    """How the delete list reaches this step's bd operator."""
+    if step.method is BdMethod.SORT_MERGE:
+        if step.is_table:
+            return ("RID list (already in physical order)"
+                    if not plan.sort_rid_list else "sort_RID(RID list)")
+        if step.target == plan.driving_index:
+            return f"sort_{plan.column}(D)"
+        return f"pi_{step.target} -> sort(key,RID)"
+    if step.method is BdMethod.HASH:
+        return "hash(RID list)"
+    if step.method is BdMethod.PARTITIONED_HASH:
+        return "range-partition(key) -> hash(RID) per partition"
+    return "record-at-a-time probes"
+
+
+def build_dag(plan: BulkDeletePlan) -> OpNode:
+    """The logical operator graph of one vertical plan."""
+    root = OpNode(
+        f"DELETE FROM {plan.table_name} WHERE {plan.column} IN (D)"
+    )
+    source: OpNode
+    if plan.driving_index:
+        driving_step = next(
+            s for s in plan.steps if s.target == plan.driving_index
+        )
+        source = root.add(
+            OpNode(
+                f"bd[{driving_step.method.value}] {plan.driving_index}"
+                f"   <- {_feed_label(driving_step, plan)}"
+            )
+        )
+    else:
+        source = root.add(
+            OpNode(f"scan({plan.table_name})  -- no index on "
+                   f"{plan.column}; emits the RID list")
+        )
+    rid_stream = source.add(
+        OpNode(
+            "RID list"
+            + ("" if not plan.sort_rid_list else " -> sort_RID")
+        )
+    )
+    table_node: Optional[OpNode] = None
+    for step in plan.steps:
+        if step.target == plan.driving_index:
+            continue
+        label = f"bd[{step.method.value}/{step.predicate.value}] " + (
+            plan.table_name if step.is_table else step.target
+        )
+        node = OpNode(f"{label}   <- {_feed_label(step, plan)}")
+        if step.is_table:
+            table_node = rid_stream.add(node)
+        elif table_node is None:
+            # Unique indexes processed before the table: fed by RIDs.
+            rid_stream.add(node)
+        else:
+            # Split output stream of the table's bd (Figure 3: "the
+            # result ... is a common subexpression").
+            table_node.add(node)
+    return root
+
+
+def render_plan_dag(plan: BulkDeletePlan) -> str:
+    """Figure-style text rendering of the plan's operator graph."""
+    return "\n".join(build_dag(plan).render())

@@ -1,0 +1,260 @@
+"""Cost-based planning of bulk DELETE statements.
+
+The paper notes a dynamic-programming optimizer "can easily be
+extended" with the ``bd`` operator's choices.  The plan space for one
+``DELETE FROM R WHERE R.A IN (...)`` is small enough to enumerate
+directly:
+
+* horizontal (nested-loops ``bd`` per record) vs. vertical,
+* per index: sort/merge vs. hash vs. partitioned hash,
+* unique indexes before the base table (RID predicate) so their
+  constraint can come back on-line early,
+* skip the RID sort when the driving index is clustered (the paper's
+  "interesting order" analogy).
+
+The cost formulas charge the same quantities the simulated disk does,
+so the planner's crossover between the horizontal and vertical plans
+matches what the executors actually exhibit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.catalog.catalog import IndexInfo, TableInfo
+from repro.catalog.database import Database
+from repro.catalog.statistics import collect_table_statistics
+from repro.core.plans import (
+    TABLE_TARGET,
+    BdMethod,
+    BdPredicate,
+    BulkDeletePlan,
+    StepPlan,
+)
+from repro.errors import PlanningError
+from repro.query.hashtable import BYTES_PER_SET_ENTRY
+
+
+@dataclass
+class CostBreakdown:
+    """Estimated cost of one strategy, in simulated milliseconds."""
+
+    strategy: str
+    io_ms: float
+    detail: str = ""
+
+
+def estimate_horizontal_ms(
+    db: Database, table: TableInfo, n_deletes: int, presorted: bool = True
+) -> CostBreakdown:
+    """Cost of the traditional record-at-a-time execution.
+
+    Every deleted record pays one leaf access per index plus one heap
+    page access.  With a sorted delete list and enough buffer, upper
+    index levels are cached and the driving index's leaves are touched
+    in order; unsorted lists turn almost every access into a random I/O.
+    """
+    params = db.disk.parameters
+    random_ms = params.random_ms(db.page_size)
+    seq_ms = params.sequential_ms(db.page_size)
+    index_count = max(1, len(table.indexes))
+    if presorted:
+        # Driving-index leaves in order (sequential-ish); heap and the
+        # other indexes' leaves remain random.
+        per_record = random_ms * (1 + (index_count - 1)) + seq_ms
+    else:
+        # Re-fetches everywhere once the pool thrashes.
+        per_record = random_ms * (1 + index_count)
+    io_ms = n_deletes * per_record
+    return CostBreakdown("horizontal", io_ms, f"{n_deletes} records x "
+                         f"{per_record:.2f}ms")
+
+
+def estimate_vertical_ms(
+    db: Database, table: TableInfo, n_deletes: int
+) -> CostBreakdown:
+    """Cost of the sort/merge vertical plan: sequential sweeps + sorts.
+
+    Sizes come from (I/O-free) catalog statistics — a planner must not
+    walk leaf chains to decide how to avoid walking leaf chains.
+    """
+    params = db.disk.parameters
+    seq_ms = params.sequential_ms(db.page_size)
+    stats = collect_table_statistics(table)
+    heap_pages = stats.heap_pages
+    leaf_pages = stats.total_leaf_pages()
+    # Read + write back each swept page (writes are also sequential).
+    sweep_ms = (heap_pages + leaf_pages) * seq_ms * 2
+    sort_ms = 0.0
+    if n_deletes > 1:
+        passes = 1 + max(
+            0,
+            math.ceil(
+                math.log2(
+                    max(
+                        1.0,
+                        (n_deletes * 16) / max(1, db.memory_bytes),
+                    )
+                )
+            ),
+        )
+        sort_ms = (
+            len(table.indexes)
+            * n_deletes
+            * db.disk.CPU_RECORD_MS
+            * 0.5
+            * math.log2(n_deletes)
+            * passes
+        )
+    io_ms = sweep_ms + sort_ms
+    return CostBreakdown(
+        "vertical",
+        io_ms,
+        f"{heap_pages} heap + {leaf_pages} leaf pages swept",
+    )
+
+
+def rid_hash_fits(db: Database, n_deletes: int) -> bool:
+    """Would a RID hash set of the delete list fit in memory?"""
+    return n_deletes * BYTES_PER_SET_ENTRY <= db.memory_bytes
+
+
+def choose_plan(
+    db: Database,
+    table_name: str,
+    column: str,
+    n_deletes: int,
+    prefer_method: Optional[BdMethod] = None,
+    force_vertical: bool = False,
+) -> BulkDeletePlan:
+    """Pick order, method and predicate for every structure.
+
+    ``prefer_method`` narrows the per-index method choice (e.g. the
+    benchmarks pin SORT_MERGE to mirror the paper's evaluation); the
+    planner still falls back to PARTITIONED_HASH when a requested HASH
+    build cannot fit in memory.
+    """
+    table = db.table(table_name)
+    if not table.schema.has_column(column):
+        raise PlanningError(f"{table_name} has no column {column}")
+    driving = _pick_driving_index(table, column)
+    horizontal = estimate_horizontal_ms(db, table, n_deletes)
+    vertical = estimate_vertical_ms(db, table, n_deletes)
+    plan = BulkDeletePlan(
+        table_name=table_name,
+        column=column,
+        driving_index=driving.name if driving else None,
+        estimated_ms=min(horizontal.io_ms, vertical.io_ms),
+    )
+    if not force_vertical and horizontal.io_ms < vertical.io_ms:
+        plan.steps = [
+            StepPlan(
+                TABLE_TARGET,
+                BdMethod.NESTED_LOOPS,
+                BdPredicate.KEY,
+                note="record-at-a-time is cheaper for this few deletes",
+            )
+        ]
+        plan.notes.append(
+            f"horizontal {horizontal.io_ms / 1000:.1f}s < "
+            f"vertical {vertical.io_ms / 1000:.1f}s"
+        )
+        return plan
+
+    method = prefer_method or BdMethod.SORT_MERGE
+    hash_fits = rid_hash_fits(db, n_deletes)
+    if method is BdMethod.HASH and not hash_fits:
+        method = BdMethod.PARTITIONED_HASH
+        plan.notes.append(
+            "RID hash set exceeds memory: fell back to range partitioning"
+        )
+
+    # 1. The driving index (sort/merge on its own key) produces RIDs.
+    if driving is not None:
+        plan.steps.append(
+            StepPlan(
+                driving.name,
+                BdMethod.SORT_MERGE,
+                BdPredicate.KEY,
+                note="driving index: sorted delete keys -> RID list",
+            )
+        )
+        plan.sort_rid_list = not driving.clustered
+        if driving.clustered:
+            plan.notes.append(
+                "driving index is clustered: RID list inherits key order "
+                "(interesting order, no sort needed)"
+            )
+    else:
+        plan.sort_rid_list = False  # scan already yields RIDs in order
+
+    # 2. Unique secondary indexes, by RID, before the base table (§3.1.3)
+    #    so the uniqueness constraint can come back on-line early.
+    later: List[IndexInfo] = []
+    hash_indexes = table.hash_indexes()
+    if hash_indexes:
+        plan.notes.append(
+            f"{len(hash_indexes)} hash index(es) will be updated "
+            "record-at-a-time (vertical bd applies to B-trees only, §5)"
+        )
+    for index in table.btree_indexes():
+        if driving is not None and index.name == driving.name:
+            continue
+        if index.unique and hash_fits:
+            plan.steps.append(
+                StepPlan(
+                    index.name,
+                    BdMethod.HASH,
+                    BdPredicate.RID,
+                    note="unique index processed first (RID probe)",
+                )
+            )
+        else:
+            later.append(index)
+
+    # 3. The base table.
+    plan.steps.append(
+        StepPlan(
+            TABLE_TARGET,
+            BdMethod.SORT_MERGE if method is BdMethod.SORT_MERGE else method,
+            BdPredicate.RID,
+            note="RID-ordered sweep of the heap",
+        )
+    )
+
+    # 4. Remaining indexes, fed by the projections of the deleted rows.
+    for index in later:
+        step_method = method
+        predicate = (
+            BdPredicate.RID if method is not BdMethod.SORT_MERGE
+            else BdPredicate.KEY
+        )
+        plan.steps.append(
+            StepPlan(
+                index.name,
+                step_method,
+                predicate,
+                note="fed by keys projected from deleted rows"
+                if predicate is BdPredicate.KEY
+                else "fed by the RID list",
+            )
+        )
+    return plan
+
+
+def _pick_driving_index(
+    table: TableInfo, column: str
+) -> Optional[IndexInfo]:
+    """Best index on the delete column: clustered > unique > any."""
+    candidates = table.indexes_on(column)
+    if not candidates:
+        return None
+    for ix in candidates:
+        if ix.clustered:
+            return ix
+    for ix in candidates:
+        if ix.unique:
+            return ix
+    return candidates[0]

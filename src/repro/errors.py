@@ -1,0 +1,74 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch engine failures with a single handler while still
+being able to distinguish storage, catalog, transaction, and SQL errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro engine."""
+
+
+class StorageError(ReproError):
+    """A storage-layer invariant was violated (bad page, bad RID, ...)."""
+
+
+class PageFullError(StorageError):
+    """A record does not fit into the target page."""
+
+
+class BufferPoolError(StorageError):
+    """The buffer pool cannot satisfy a request (e.g. all frames pinned)."""
+
+
+class CatalogError(ReproError):
+    """Unknown table/index/column, or a conflicting definition."""
+
+
+class SchemaError(CatalogError):
+    """A record does not match its table schema."""
+
+
+class IndexError_(ReproError):
+    """A B-tree invariant was violated or an entry was not found."""
+
+
+class UniqueViolationError(IndexError_):
+    """An insert would create a duplicate key in a unique index."""
+
+
+class IntegrityViolationError(ReproError):
+    """A referential-integrity constraint would be violated."""
+
+
+class TransactionError(ReproError):
+    """Illegal transaction state transition or lock protocol violation."""
+
+
+class LockConflictError(TransactionError):
+    """A lock request conflicts with a lock held by another transaction."""
+
+
+class IndexOfflineError(TransactionError):
+    """An operation required an on-line index that is currently off-line."""
+
+
+class RecoveryError(ReproError):
+    """The log is corrupt or restart cannot proceed."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The statement could not be parsed."""
+
+
+class SqlBindError(SqlError):
+    """The statement references unknown tables or columns."""
+
+
+class PlanningError(ReproError):
+    """The bulk-delete planner could not produce a valid plan."""

@@ -1,0 +1,5 @@
+"""Hash indexes — the "other kind" of index the paper's §5 mentions."""
+
+from repro.hashindex.hash_index import HashIndex
+
+__all__ = ["HashIndex"]

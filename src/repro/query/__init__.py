@@ -1,0 +1,22 @@
+"""Query-execution substrate: external sort, hash tables, partitioning."""
+
+from repro.query.hashtable import (
+    BoundedHashMap,
+    BoundedHashSet,
+    HashTableOverflowError,
+)
+from repro.query.partition import RangePartition, range_partition
+from repro.query.sort import ExternalSorter, SortStats, sort_tuples
+from repro.query.spill import SpillFile
+
+__all__ = [
+    "BoundedHashMap",
+    "BoundedHashSet",
+    "ExternalSorter",
+    "HashTableOverflowError",
+    "RangePartition",
+    "SortStats",
+    "SpillFile",
+    "range_partition",
+    "sort_tuples",
+]

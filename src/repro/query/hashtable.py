@@ -1,0 +1,99 @@
+"""Memory-accounted hash tables for the hash-based bulk-delete plans.
+
+The hash variant of the ``bd`` operator (Figure 4 of the paper) builds a
+main-memory hash table from the RID list and probes it while scanning
+the base table and the leaf levels of the indexes — the *classic hash
+join* of Shapiro [18].  It "is particularly attractive if the hash table
+really fits into physical main memory"; when it does not, the planner
+must fall back to range partitioning (Figure 5).
+
+``BoundedHashSet``/``BoundedHashMap`` enforce that decision: building
+past the byte budget raises :class:`HashTableOverflowError`, which the
+executor catches to switch strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+
+#: Logical bytes charged per hash-table entry: an 8-byte key plus bucket
+#: overhead comparable to a C implementation's pointers.
+BYTES_PER_SET_ENTRY = 16
+BYTES_PER_MAP_ENTRY = 24
+
+
+class HashTableOverflowError(ReproError):
+    """The build input exceeds the main-memory budget."""
+
+
+class BoundedHashSet:
+    """A set of 64-bit integers with a byte budget."""
+
+    def __init__(self, memory_bytes: int) -> None:
+        self.memory_bytes = memory_bytes
+        self.capacity = max(1, memory_bytes // BYTES_PER_SET_ENTRY)
+        self._items: Set[int] = set()
+
+    def build(self, items: Iterable[int]) -> "BoundedHashSet":
+        for item in items:
+            self.add(item)
+        return self
+
+    def add(self, item: int) -> None:
+        if item not in self._items and len(self._items) >= self.capacity:
+            raise HashTableOverflowError(
+                f"hash set of {len(self._items)} entries exceeds "
+                f"{self.memory_bytes} bytes"
+            )
+        self._items.add(item)
+
+    def discard(self, item: int) -> None:
+        self._items.discard(item)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._items)
+
+
+class BoundedHashMap:
+    """An int → int-tuple map with a byte budget (duplicate-friendly)."""
+
+    def __init__(self, memory_bytes: int, payload_width: int = 1) -> None:
+        self.memory_bytes = memory_bytes
+        entry_bytes = BYTES_PER_MAP_ENTRY + 8 * max(0, payload_width - 1)
+        self.capacity = max(1, memory_bytes // entry_bytes)
+        self._items: Dict[int, List[Tuple[int, ...]]] = {}
+        self._count = 0
+
+    def add(self, key: int, payload: Tuple[int, ...]) -> None:
+        if self._count >= self.capacity:
+            raise HashTableOverflowError(
+                f"hash map of {self._count} entries exceeds "
+                f"{self.memory_bytes} bytes"
+            )
+        self._items.setdefault(key, []).append(payload)
+        self._count += 1
+
+    def get(self, key: int) -> List[Tuple[int, ...]]:
+        return self._items.get(key, [])
+
+    def pop_all(self, key: int) -> List[Tuple[int, ...]]:
+        payloads = self._items.pop(key, [])
+        self._count -= len(payloads)
+        return payloads
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._items
+
+    def __len__(self) -> int:
+        return self._count
+
+    def keys(self) -> Iterator[int]:
+        return iter(self._items)

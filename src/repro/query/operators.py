@@ -1,0 +1,127 @@
+"""Iterator-style query operators for the SELECT path.
+
+A small physical algebra — scans, index lookups, filter, project,
+sort — so SELECT statements can use access paths instead of always
+scanning.  The bulk-delete machinery does not use these (its operators
+live in :mod:`repro.core.bulk_ops`); they exist so the engine is a
+usable database around the paper's contribution, and so EXPLAIN-style
+reasoning about access paths has something real to point at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.btree.node import MAX_KEY, MIN_KEY
+from repro.catalog.catalog import IndexInfo, TableInfo
+from repro.storage.rid import RID
+
+Row = Tuple[object, ...]
+RowIter = Iterator[Tuple[RID, Row]]
+
+
+def table_scan(table: TableInfo) -> RowIter:
+    """Full sequential scan in physical order."""
+    for rid, payload in table.heap.scan():
+        yield rid, table.serializer.unpack(payload)
+
+
+def index_equality_lookup(
+    table: TableInfo, index: IndexInfo, key: int
+) -> RowIter:
+    """Fetch the rows with ``indexed column == key`` via the B-tree."""
+    for packed in index.tree.search(key):
+        rid = RID.unpack(packed)
+        yield rid, table.serializer.unpack(table.heap.read(rid))
+
+
+def index_range_scan(
+    table: TableInfo,
+    index: IndexInfo,
+    lo: int = MIN_KEY,
+    hi: int = MAX_KEY,
+) -> RowIter:
+    """Fetch rows with ``lo <= key <= hi`` in key order.
+
+    Each qualifying entry costs one heap access; for a clustered index
+    those accesses are sequential.
+    """
+    for _, packed in index.tree.range_scan(lo, hi):
+        rid = RID.unpack(packed)
+        yield rid, table.serializer.unpack(table.heap.read(rid))
+
+
+def filter_rows(
+    rows: RowIter, predicate: Callable[[Row], bool]
+) -> RowIter:
+    for rid, row in rows:
+        if predicate(row):
+            yield rid, row
+
+
+def project(
+    rows: RowIter, indices: Sequence[int]
+) -> Iterator[Tuple[object, ...]]:
+    for _, row in rows:
+        yield tuple(row[i] for i in indices)
+
+
+@dataclass
+class AccessPath:
+    """The access path chosen for one SELECT predicate."""
+
+    kind: str  # 'scan' | 'index-eq' | 'index-range'
+    index: Optional[IndexInfo] = None
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+
+    def describe(self) -> str:
+        if self.kind == "scan":
+            return "sequential scan"
+        assert self.index is not None
+        if self.kind == "index-eq":
+            return f"index lookup on {self.index.name}"
+        return f"index range scan on {self.index.name} [{self.lo}, {self.hi}]"
+
+
+def choose_access_path(
+    table: TableInfo, column: Optional[str], op: Optional[str],
+    value: Optional[int],
+) -> AccessPath:
+    """Pick an index when the predicate allows, else scan.
+
+    Equality and range comparisons on an indexed integer column use the
+    index; everything else scans.  A genuinely selective optimizer
+    would weigh selectivity against the random heap accesses an
+    unclustered index lookup costs; with the statistics kept by
+    :mod:`repro.catalog.statistics` the cutoff is a straightforward
+    extension, but SELECT performance is not what the paper measures.
+    """
+    if column is None or op is None or not isinstance(value, int):
+        return AccessPath("scan")
+    candidates = table.indexes_on(column)
+    online = [ix for ix in candidates if ix.is_online]
+    if not online:
+        return AccessPath("scan")
+    index = online[0]
+    if op == "=":
+        return AccessPath("index-eq", index=index, lo=value, hi=value)
+    if op in ("<", "<="):
+        hi = value - 1 if op == "<" else value
+        return AccessPath("index-range", index=index, lo=MIN_KEY, hi=hi)
+    if op in (">", ">="):
+        lo = value + 1 if op == ">" else value
+        return AccessPath("index-range", index=index, lo=lo, hi=MAX_KEY)
+    return AccessPath("scan")
+
+
+def execute_access_path(
+    table: TableInfo, path: AccessPath
+) -> RowIter:
+    if path.kind == "scan":
+        return table_scan(table)
+    assert path.index is not None
+    if path.kind == "index-eq":
+        return index_equality_lookup(table, path.index, path.lo)  # type: ignore[arg-type]
+    return index_range_scan(table, path.index, path.lo, path.hi)  # type: ignore[arg-type]

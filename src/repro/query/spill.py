@@ -1,0 +1,108 @@
+"""Spill files: fixed-width integer tuples on simulated-disk pages.
+
+Sort runs, range partitions, and side-files all need to park streams of
+small integer tuples on disk and read them back sequentially.  A
+``SpillFile`` packs ``width`` 64-bit integers per tuple into pages of
+its own disk file; appends and scans are sequential I/O by
+construction.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.storage.disk import SimulatedDisk
+
+_COUNT = struct.Struct("<I")
+
+
+class SpillFile:
+    """An append-then-scan file of fixed-width int tuples."""
+
+    def __init__(self, disk: SimulatedDisk, width: int) -> None:
+        if width < 1:
+            raise ValueError("tuple width must be >= 1")
+        self.disk = disk
+        self.width = width
+        self.file_id = disk.create_file()
+        self.page_ids: List[int] = []
+        self.tuple_count = 0
+        self._entry_struct = struct.Struct(f"<{width}q")
+        self._per_page = (disk.page_size - _COUNT.size) // self._entry_struct.size
+        if self._per_page < 1:
+            raise StorageError("page too small for one spill tuple")
+        self._write_buffer: List[Tuple[int, ...]] = []
+        self._sealed = False
+
+    @classmethod
+    def from_pages(
+        cls, disk: SimulatedDisk, width: int, page_ids: List[int], count: int
+    ) -> "SpillFile":
+        """Re-open a sealed spill file from logged page ids (recovery)."""
+        spill = cls(disk, width)
+        spill.page_ids = list(page_ids)
+        spill.tuple_count = count
+        spill._sealed = True
+        return spill
+
+    @property
+    def page_count(self) -> int:
+        return len(self.page_ids) + (1 if self._write_buffer else 0)
+
+    def append(self, item: Tuple[int, ...]) -> None:
+        if self._sealed:
+            raise StorageError("spill file already sealed")
+        if len(item) != self.width:
+            raise StorageError(
+                f"tuple of arity {len(item)} in width-{self.width} spill file"
+            )
+        self._write_buffer.append(item)
+        self.tuple_count += 1
+        if len(self._write_buffer) >= self._per_page:
+            self._flush_buffer()
+
+    def extend(self, items: Iterable[Tuple[int, ...]]) -> None:
+        for item in items:
+            self.append(item)
+
+    def seal(self) -> None:
+        """Finish writing; the file becomes scannable."""
+        if not self._sealed:
+            self._flush_buffer()
+            self._sealed = True
+
+    def _flush_buffer(self) -> None:
+        if not self._write_buffer:
+            return
+        data = bytearray(self.disk.page_size)
+        _COUNT.pack_into(data, 0, len(self._write_buffer))
+        offset = _COUNT.size
+        for item in self._write_buffer:
+            self._entry_struct.pack_into(data, offset, *item)
+            offset += self._entry_struct.size
+        page_id = self.disk.allocate_page(self.file_id)
+        self.disk.write_page(page_id, bytes(data))
+        self.page_ids.append(page_id)
+        self._write_buffer = []
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        """Sequentially scan all tuples (seals the file first)."""
+        self.seal()
+        for page_id in self.page_ids:
+            data = self.disk.read_page(page_id)
+            (count,) = _COUNT.unpack_from(data, 0)
+            offset = _COUNT.size
+            for _ in range(count):
+                yield self._entry_struct.unpack_from(data, offset)
+                offset += self._entry_struct.size
+
+    def free(self) -> None:
+        """Release every page (the file is unusable afterwards)."""
+        for page_id in self.page_ids:
+            self.disk.free_page(page_id)
+        self.page_ids = []
+        self._write_buffer = []
+        self.tuple_count = 0
+        self._sealed = True

@@ -1,0 +1,21 @@
+"""Checkpointing, crash simulation, and roll-forward restart (§3.2)."""
+
+from repro.recovery.restart import (
+    RecoverableBulkDelete,
+    RecoveryReport,
+    SimulatedCrash,
+    recover,
+)
+from repro.recovery.snapshot import capture_metadata, restore_metadata
+from repro.recovery.wal import LogRecord, WriteAheadLog
+
+__all__ = [
+    "LogRecord",
+    "RecoverableBulkDelete",
+    "RecoveryReport",
+    "SimulatedCrash",
+    "WriteAheadLog",
+    "capture_metadata",
+    "recover",
+    "restore_metadata",
+]

@@ -1,0 +1,60 @@
+"""Catalog-metadata snapshots for checkpoints.
+
+The engine keeps structural metadata (heap page lists, B-tree roots,
+entry counts) in Python objects rather than in catalog pages; a real
+system would persist them there.  Checkpoints therefore capture this
+metadata explicitly, and restart restores it, standing in for reading
+the catalog back from disk.  Only metadata whose pages were flushed at
+checkpoint time is captured, so the snapshot is always consistent with
+the on-disk page images.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.catalog.database import Database
+
+
+def capture_metadata(db: Database) -> Dict[str, Any]:
+    """Snapshot every table's and index's structural metadata."""
+    snapshot: Dict[str, Any] = {"tables": {}}
+    for table in db.catalog.tables():
+        indexes: Dict[str, Any] = {}
+        for index in table.indexes.values():
+            indexes[index.name] = {
+                "root_id": index.tree.root_id,
+                "first_leaf_id": index.tree.first_leaf_id,
+                "height": index.tree.height,
+                "entry_count": index.tree.entry_count,
+            }
+        snapshot["tables"][table.name] = {
+            "page_ids": list(table.heap.page_ids),
+            "record_count": table.heap.record_count,
+            "fsm": {
+                page_id: table.heap.fsm.free_bytes(page_id)
+                for page_id in table.heap.fsm.pages()
+            },
+            "indexes": indexes,
+        }
+    return snapshot
+
+
+def restore_metadata(db: Database, snapshot: Dict[str, Any]) -> None:
+    """Restore structural metadata captured by :func:`capture_metadata`."""
+    for table_name, table_meta in snapshot["tables"].items():
+        table = db.table(table_name)
+        table.heap.page_ids = list(table_meta["page_ids"])
+        table.heap._page_set = set(table_meta["page_ids"])
+        table.heap._record_count = table_meta["record_count"]
+        fsm = table.heap.fsm
+        for page_id in list(fsm.pages()):
+            fsm.forget(page_id)
+        for page_id, free in table_meta["fsm"].items():
+            fsm.record(page_id, free)
+        for index_name, meta in table_meta["indexes"].items():
+            tree = table.index(index_name).tree
+            tree.root_id = meta["root_id"]
+            tree.first_leaf_id = meta["first_leaf_id"]
+            tree.height = meta["height"]
+            tree._entry_count = meta["entry_count"]

@@ -1,0 +1,6 @@
+"""A small SQL front-end: DDL, INSERT, SELECT, and bulk DELETE."""
+
+from repro.sql.interpreter import SqlSession, StatementResult
+from repro.sql.parser import parse, parse_script
+
+__all__ = ["SqlSession", "StatementResult", "parse", "parse_script"]

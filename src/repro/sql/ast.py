@@ -1,0 +1,133 @@
+"""AST node types for the SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+Literal = Union[int, str]
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str  # 'INT' or 'CHAR'
+    length: int = 0
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    table: str
+    columns: Tuple[ColumnDef, ...]
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    index: str
+    table: str
+    column: str
+    unique: bool = False
+    clustered: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable:
+    table: str
+
+
+@dataclass(frozen=True)
+class DropIndex:
+    index: str
+    table: str
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    rows: Tuple[Tuple[Literal, ...], ...]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``column <op> literal`` with op in =, <, >, <=, >=, <>."""
+
+    column: str
+    op: str
+    value: Literal
+
+
+@dataclass(frozen=True)
+class InList:
+    """``column IN (v1, v2, ...)``."""
+
+    column: str
+    values: Tuple[Literal, ...]
+
+
+@dataclass(frozen=True)
+class InSubquery:
+    """``column IN (SELECT sub_column FROM sub_table)``."""
+
+    column: str
+    sub_table: str
+    sub_column: str
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction of two predicates."""
+
+    left: "Predicate"
+    right: "Predicate"
+
+
+Predicate = Union[Comparison, InList, InSubquery, "And"]
+
+
+@dataclass(frozen=True)
+class Select:
+    table: str
+    columns: Tuple[str, ...]  # empty tuple means '*'
+    where: Optional[Predicate] = None
+    order_by: Optional[str] = None
+    count_star: bool = False  # SELECT COUNT(*)
+
+
+@dataclass(frozen=True)
+class SetClause:
+    """``SET column = literal`` or ``SET column = column + literal``."""
+
+    column: str
+    delta: Optional[int] = None  # None: absolute assignment
+    value: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    set_clause: SetClause
+    where: Optional[Predicate] = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Optional[Predicate] = None
+
+
+@dataclass(frozen=True)
+class Explain:
+    statement: "Statement"
+
+
+Statement = Union[
+    CreateTable,
+    CreateIndex,
+    DropTable,
+    DropIndex,
+    Insert,
+    Select,
+    Update,
+    Delete,
+    Explain,
+]

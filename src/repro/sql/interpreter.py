@@ -1,0 +1,293 @@
+"""Statement execution: binds ASTs against the catalog and runs them.
+
+DELETE statements with an ``IN`` predicate on an indexed (or any)
+column are routed through the bulk-delete planner — typing the paper's
+
+    DELETE FROM R WHERE R.A IN (SELECT D.A FROM D)
+
+into :meth:`SqlSession.execute` runs the vertical plan.  ``EXPLAIN``
+prefixes return the chosen plan as text without executing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.catalog.database import Database
+from repro.catalog.schema import Attribute, TableSchema
+from repro.core.bulk_update import bulk_update
+from repro.core.executor import BulkDeleteOptions, BulkDeleteResult, bulk_delete
+from repro.core.planner import choose_plan
+from repro.errors import SqlBindError
+from repro.sql import ast
+from repro.sql.parser import parse, parse_script
+from repro.storage.rid import RID
+
+
+@dataclass
+class StatementResult:
+    """Uniform result of one statement."""
+
+    kind: str  # 'ddl' | 'insert' | 'select' | 'delete' | 'explain'
+    rows: List[Tuple[object, ...]] = field(default_factory=list)
+    affected: int = 0
+    text: str = ""
+    detail: Optional[BulkDeleteResult] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.kind == "select":
+            return f"<select: {len(self.rows)} rows>"
+        if self.kind == "explain":
+            return self.text
+        return f"<{self.kind}: {self.affected} affected>"
+
+
+class SqlSession:
+    """Executes SQL text against one :class:`Database`."""
+
+    def __init__(
+        self,
+        db: Database,
+        bulk_delete_options: Optional[BulkDeleteOptions] = None,
+        force_vertical: bool = False,
+    ) -> None:
+        self.db = db
+        self.bulk_delete_options = bulk_delete_options
+        self.force_vertical = force_vertical
+
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> StatementResult:
+        """Parse and run one statement."""
+        return self._run(parse(sql))
+
+    def execute_script(self, sql: str) -> List[StatementResult]:
+        """Run a ``;``-separated script; returns one result each."""
+        return [self._run(stmt) for stmt in parse_script(sql)]
+
+    # ------------------------------------------------------------------
+    def _run(self, stmt: ast.Statement) -> StatementResult:
+        if isinstance(stmt, ast.Explain):
+            return self._explain(stmt.statement)
+        if isinstance(stmt, ast.CreateTable):
+            return self._create_table(stmt)
+        if isinstance(stmt, ast.CreateIndex):
+            self.db.create_index(
+                stmt.table,
+                stmt.column,
+                name=stmt.index,
+                unique=stmt.unique,
+                clustered=stmt.clustered,
+            )
+            return StatementResult("ddl", text=f"index {stmt.index} created")
+        if isinstance(stmt, ast.DropTable):
+            self.db.drop_table(stmt.table)
+            return StatementResult("ddl", text=f"table {stmt.table} dropped")
+        if isinstance(stmt, ast.DropIndex):
+            self.db.drop_index(stmt.table, stmt.index)
+            return StatementResult("ddl", text=f"index {stmt.index} dropped")
+        if isinstance(stmt, ast.Insert):
+            for row in stmt.rows:
+                self.db.insert(stmt.table, list(row))
+            return StatementResult("insert", affected=len(stmt.rows))
+        if isinstance(stmt, ast.Select):
+            return self._select(stmt)
+        if isinstance(stmt, ast.Update):
+            return self._update(stmt)
+        if isinstance(stmt, ast.Delete):
+            return self._delete(stmt)
+        raise SqlBindError(f"unsupported statement {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    def _create_table(self, stmt: ast.CreateTable) -> StatementResult:
+        attrs = []
+        for col in stmt.columns:
+            if col.type_name == "INT":
+                attrs.append(Attribute.int_(col.name))
+            else:
+                attrs.append(Attribute.char(col.name, col.length))
+        self.db.create_table(TableSchema.of(stmt.table, attrs))
+        return StatementResult("ddl", text=f"table {stmt.table} created")
+
+    def _select(self, stmt: ast.Select) -> StatementResult:
+        table = self.db.table(stmt.table)
+        schema = table.schema
+        for column in stmt.columns:
+            schema.column_index(column)  # raises CatalogError if unknown
+        predicate = self._compile_predicate(stmt.table, stmt.where)
+        rows = self._select_source(table, stmt.where)
+        out: List[Tuple[object, ...]] = []
+        for _, values in rows:
+            if predicate is not None and not predicate(values):
+                continue
+            if stmt.columns:
+                out.append(
+                    tuple(values[schema.column_index(c)] for c in stmt.columns)
+                )
+            else:
+                out.append(values)
+        if stmt.count_star:
+            return StatementResult("select", rows=[(len(out),)])
+        if stmt.order_by is not None:
+            if stmt.columns:
+                if stmt.order_by not in stmt.columns:
+                    raise SqlBindError(
+                        "ORDER BY column must appear in the select list"
+                    )
+                key_idx = stmt.columns.index(stmt.order_by)
+            else:
+                key_idx = schema.column_index(stmt.order_by)
+            out.sort(key=lambda row: row[key_idx])
+        return StatementResult("select", rows=out)
+
+    def _select_source(self, table, where):
+        """Choose the access path: an index when the predicate allows.
+
+        The residual predicate is still applied afterwards, so an index
+        path only needs to be a superset of the matches.
+        """
+        from repro.query.operators import (
+            choose_access_path,
+            execute_access_path,
+        )
+
+        column = op = value = None
+        candidate = where
+        if isinstance(candidate, ast.And):
+            # Use the first indexable conjunct as the access path; the
+            # full predicate still filters afterwards.
+            for part in (candidate.left, candidate.right):
+                if isinstance(part, ast.Comparison):
+                    candidate = part
+                    break
+        if isinstance(candidate, ast.Comparison) and isinstance(
+            candidate.value, int
+        ):
+            column, op, value = candidate.column, candidate.op, candidate.value
+        path = choose_access_path(table, column, op, value)
+        return execute_access_path(table, path)
+
+    def _delete(self, stmt: ast.Delete) -> StatementResult:
+        keys = self._delete_keys(stmt)
+        if keys is None:
+            # Unconditional or non-IN delete: predicate scan then RID ops.
+            predicate = self._compile_predicate(stmt.table, stmt.where)
+            victims = [
+                rid
+                for rid, values in self.db.scan(stmt.table)
+                if predicate is None or predicate(values)
+            ]
+            for rid in victims:
+                self.db.delete_record(stmt.table, rid)
+            return StatementResult("delete", affected=len(victims))
+        column, key_values = keys
+        result = bulk_delete(
+            self.db,
+            stmt.table,
+            column,
+            key_values,
+            options=self.bulk_delete_options,
+            force_vertical=self.force_vertical,
+        )
+        return StatementResult(
+            "delete", affected=result.records_deleted, detail=result
+        )
+
+    def _update(self, stmt: ast.Update) -> StatementResult:
+        """Route UPDATE through the vertical bulk-update executor."""
+        clause = stmt.set_clause
+        table = self.db.table(stmt.table)
+        set_idx = table.schema.column_index(clause.column)
+        if clause.delta is not None:
+            compute = lambda row, d=clause.delta: row[set_idx] + d  # noqa: E731
+        else:
+            compute = lambda row, v=clause.value: v  # noqa: E731
+        predicate = self._compile_predicate(stmt.table, stmt.where)
+        result = bulk_update(
+            self.db,
+            stmt.table,
+            clause.column,
+            compute=compute,
+            where=(predicate if predicate is not None else lambda row: True),
+        )
+        return StatementResult("update", affected=result.records_updated)
+
+    def _explain(self, stmt: ast.Statement) -> StatementResult:
+        if not isinstance(stmt, ast.Delete):
+            raise SqlBindError("EXPLAIN supports DELETE statements only")
+        keys = self._delete_keys(stmt)
+        if keys is None:
+            return StatementResult(
+                "explain", text="predicate scan + record-at-a-time delete"
+            )
+        column, key_values = keys
+        plan = choose_plan(
+            self.db,
+            stmt.table,
+            column,
+            len(key_values),
+            force_vertical=self.force_vertical,
+        )
+        from repro.core.operator import render_plan_dag
+        from repro.core.plans import BdMethod
+
+        text = plan.explain()
+        if plan.table_step().method is not BdMethod.NESTED_LOOPS:
+            text += "\n" + render_plan_dag(plan)
+        return StatementResult("explain", text=text)
+
+    # ------------------------------------------------------------------
+    def _delete_keys(
+        self, stmt: ast.Delete
+    ) -> Optional[Tuple[str, List[int]]]:
+        """Extract ``(column, keys)`` for bulk-eligible DELETEs."""
+        where = stmt.where
+        if isinstance(where, ast.InList):
+            values = [v for v in where.values]
+            if all(isinstance(v, int) for v in values):
+                return where.column, values  # type: ignore[return-value]
+            return None
+        if isinstance(where, ast.InSubquery):
+            sub = self.db.table(where.sub_table)
+            idx = sub.schema.column_index(where.sub_column)
+            keys = [values[idx] for _, values in self.db.scan(where.sub_table)]
+            if all(isinstance(k, int) for k in keys):
+                return where.column, keys  # type: ignore[return-value]
+            return None
+        return None
+
+    def _compile_predicate(self, table_name: str, where):
+        if where is None:
+            return None
+        table = self.db.table(table_name)
+        if isinstance(where, ast.Comparison):
+            idx = table.schema.column_index(where.column)
+            op, value = where.op, where.value
+            ops = {
+                "=": lambda x: x == value,
+                "<": lambda x: x < value,
+                ">": lambda x: x > value,
+                "<=": lambda x: x <= value,
+                ">=": lambda x: x >= value,
+                "<>": lambda x: x != value,
+            }
+            test = ops[op]
+            return lambda values: test(values[idx])
+        if isinstance(where, ast.InList):
+            idx = table.schema.column_index(where.column)
+            wanted = set(where.values)
+            return lambda values: values[idx] in wanted
+        if isinstance(where, ast.InSubquery):
+            idx = table.schema.column_index(where.column)
+            sub = self.db.table(where.sub_table)
+            sub_idx = sub.schema.column_index(where.sub_column)
+            wanted = {
+                values[sub_idx]
+                for _, values in self.db.scan(where.sub_table)
+            }
+            return lambda values: values[idx] in wanted
+        if isinstance(where, ast.And):
+            left = self._compile_predicate(table_name, where.left)
+            right = self._compile_predicate(table_name, where.right)
+            return lambda values: left(values) and right(values)
+        raise SqlBindError(f"unsupported predicate {type(where).__name__}")

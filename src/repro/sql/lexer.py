@@ -1,0 +1,135 @@
+"""Tokenizer for the small SQL dialect of the examples.
+
+Supports exactly the statement shapes the paper uses: DDL for tables
+and indexes, INSERT, simple SELECT, and the bulk DELETE with an ``IN``
+subquery — ``DELETE FROM R WHERE R.A IN (SELECT D.A FROM D)``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "CREATE", "TABLE", "UNIQUE", "CLUSTERED", "INDEX", "ON", "DROP",
+    "INSERT", "INTO", "VALUES", "SELECT", "FROM", "WHERE", "DELETE",
+    "IN", "INT", "CHAR", "AND", "EXPLAIN", "NOT", "ORDER", "BY",
+    "UPDATE", "SET", "COUNT",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|<>|!=|=|<|>|\(|\)|,|\.|\*|;|\+|-)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'keyword' | 'name' | 'number' | 'string' | 'op' | 'eof'
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.value == word
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Split ``sql`` into tokens; raises on unrecognized input."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise SqlSyntaxError(
+                f"unexpected character {sql[pos]!r} at offset {pos}"
+            )
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "ws":
+            pos = match.end()
+            continue
+        if kind == "name" and text.upper() in KEYWORDS:
+            tokens.append(Token("keyword", text.upper(), pos))
+        elif kind == "name":
+            tokens.append(Token("name", text, pos))
+        elif kind == "number":
+            tokens.append(Token("number", text, pos))
+        elif kind == "string":
+            tokens.append(Token("string", text[1:-1].replace("''", "'"), pos))
+        else:
+            tokens.append(Token("op", text, pos))
+        pos = match.end()
+    tokens.append(Token("eof", "", len(sql)))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with expect/accept helpers."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise SqlSyntaxError(
+                f"expected {word} at offset {self.current.position}, "
+                f"found {self.current.value!r}"
+            )
+
+    def accept_op(self, op: str) -> bool:
+        if self.current.kind == "op" and self.current.value == op:
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            raise SqlSyntaxError(
+                f"expected {op!r} at offset {self.current.position}, "
+                f"found {self.current.value!r}"
+            )
+
+    def expect_name(self) -> str:
+        if self.current.kind != "name":
+            raise SqlSyntaxError(
+                f"expected a name at offset {self.current.position}, "
+                f"found {self.current.value!r}"
+            )
+        return self.advance().value
+
+    def expect_number(self) -> int:
+        if self.current.kind != "number":
+            raise SqlSyntaxError(
+                f"expected a number at offset {self.current.position}, "
+                f"found {self.current.value!r}"
+            )
+        return int(self.advance().value)
+
+    def at_eof(self) -> bool:
+        return self.current.kind == "eof"

@@ -1,0 +1,234 @@
+"""Recursive-descent parser for the SQL dialect."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import Token, TokenStream, tokenize
+
+
+def parse(sql: str) -> ast.Statement:
+    """Parse exactly one statement (a trailing ``;`` is allowed)."""
+    statements = parse_script(sql)
+    if len(statements) != 1:
+        raise SqlSyntaxError(
+            f"expected exactly one statement, got {len(statements)}"
+        )
+    return statements[0]
+
+
+def parse_script(sql: str) -> List[ast.Statement]:
+    """Parse a ``;``-separated sequence of statements."""
+    stream = TokenStream(tokenize(sql))
+    statements: List[ast.Statement] = []
+    while not stream.at_eof():
+        statements.append(_statement(stream))
+        while stream.accept_op(";"):
+            pass
+    return statements
+
+
+def _statement(s: TokenStream) -> ast.Statement:
+    if s.accept_keyword("EXPLAIN"):
+        return ast.Explain(_statement(s))
+    if s.accept_keyword("CREATE"):
+        return _create(s)
+    if s.accept_keyword("DROP"):
+        return _drop(s)
+    if s.accept_keyword("INSERT"):
+        return _insert(s)
+    if s.accept_keyword("SELECT"):
+        return _select(s)
+    if s.accept_keyword("UPDATE"):
+        return _update(s)
+    if s.accept_keyword("DELETE"):
+        return _delete(s)
+    raise SqlSyntaxError(
+        f"unexpected token {s.current.value!r} at offset {s.current.position}"
+    )
+
+
+def _create(s: TokenStream) -> ast.Statement:
+    unique = s.accept_keyword("UNIQUE")
+    clustered = s.accept_keyword("CLUSTERED")
+    if s.accept_keyword("TABLE"):
+        if unique or clustered:
+            raise SqlSyntaxError("UNIQUE/CLUSTERED apply to indexes only")
+        table = s.expect_name()
+        s.expect_op("(")
+        columns: List[ast.ColumnDef] = []
+        while True:
+            name = s.expect_name()
+            if s.accept_keyword("INT"):
+                columns.append(ast.ColumnDef(name, "INT"))
+            elif s.accept_keyword("CHAR"):
+                s.expect_op("(")
+                length = s.expect_number()
+                s.expect_op(")")
+                columns.append(ast.ColumnDef(name, "CHAR", length))
+            else:
+                raise SqlSyntaxError(
+                    f"unknown type at offset {s.current.position}"
+                )
+            if not s.accept_op(","):
+                break
+        s.expect_op(")")
+        return ast.CreateTable(table, tuple(columns))
+    s.expect_keyword("INDEX")
+    index = s.expect_name()
+    s.expect_keyword("ON")
+    table = s.expect_name()
+    s.expect_op("(")
+    column = s.expect_name()
+    s.expect_op(")")
+    return ast.CreateIndex(index, table, column, unique, clustered)
+
+
+def _drop(s: TokenStream) -> ast.Statement:
+    if s.accept_keyword("TABLE"):
+        return ast.DropTable(s.expect_name())
+    s.expect_keyword("INDEX")
+    index = s.expect_name()
+    s.expect_keyword("ON")
+    table = s.expect_name()
+    return ast.DropIndex(index, table)
+
+
+def _insert(s: TokenStream) -> ast.Statement:
+    s.expect_keyword("INTO")
+    table = s.expect_name()
+    s.expect_keyword("VALUES")
+    rows: List[Tuple[ast.Literal, ...]] = []
+    while True:
+        s.expect_op("(")
+        values: List[ast.Literal] = []
+        while True:
+            values.append(_literal(s))
+            if not s.accept_op(","):
+                break
+        s.expect_op(")")
+        rows.append(tuple(values))
+        if not s.accept_op(","):
+            break
+    return ast.Insert(table, tuple(rows))
+
+
+def _select(s: TokenStream) -> ast.Select:
+    columns: List[str] = []
+    count_star = False
+    if s.accept_keyword("COUNT"):
+        s.expect_op("(")
+        s.expect_op("*")
+        s.expect_op(")")
+        count_star = True
+    elif not s.accept_op("*"):
+        while True:
+            columns.append(_column_ref(s))
+            if not s.accept_op(","):
+                break
+    s.expect_keyword("FROM")
+    table = s.expect_name()
+    where = _where(s) if s.accept_keyword("WHERE") else None
+    order_by: Optional[str] = None
+    if s.accept_keyword("ORDER"):
+        s.expect_keyword("BY")
+        order_by = _column_ref(s)
+    return ast.Select(table, tuple(columns), where, order_by, count_star)
+
+
+def _update(s: TokenStream) -> ast.Update:
+    table = s.expect_name()
+    s.expect_keyword("SET")
+    column = _column_ref(s)
+    s.expect_op("=")
+    # Either "col = <literal>" or "col = col (+|-) <literal>".
+    if s.current.kind == "name":
+        ref = _column_ref(s)
+        if ref != column:
+            raise SqlSyntaxError(
+                "SET expressions may only reference the SET column itself"
+            )
+        if s.accept_op("+"):
+            sign = 1
+        elif s.accept_op("-"):
+            sign = -1
+        else:
+            raise SqlSyntaxError("expected + or - in SET expression")
+        literal = _literal(s)
+        if not isinstance(literal, int):
+            raise SqlSyntaxError("SET delta must be an integer")
+        clause = ast.SetClause(column, delta=sign * literal)
+    else:
+        literal = _literal(s)
+        if not isinstance(literal, int):
+            raise SqlSyntaxError("SET value must be an integer")
+        clause = ast.SetClause(column, value=literal)
+    where = _where(s) if s.accept_keyword("WHERE") else None
+    return ast.Update(table, clause, where)
+
+
+def _delete(s: TokenStream) -> ast.Delete:
+    s.expect_keyword("FROM")
+    table = s.expect_name()
+    where = _where(s) if s.accept_keyword("WHERE") else None
+    return ast.Delete(table, where)
+
+
+def _where(s: TokenStream) -> ast.Predicate:
+    """One or more simple predicates joined by AND."""
+    predicate = _simple_predicate(s)
+    while s.accept_keyword("AND"):
+        predicate = ast.And(predicate, _simple_predicate(s))
+    return predicate
+
+
+def _simple_predicate(s: TokenStream) -> ast.Predicate:
+    column = _column_ref(s)
+    if s.accept_keyword("IN"):
+        s.expect_op("(")
+        if s.accept_keyword("SELECT"):
+            sub_column = _column_ref(s)
+            s.expect_keyword("FROM")
+            sub_table = s.expect_name()
+            s.expect_op(")")
+            return ast.InSubquery(column, sub_table, sub_column)
+        values: List[ast.Literal] = []
+        while True:
+            values.append(_literal(s))
+            if not s.accept_op(","):
+                break
+        s.expect_op(")")
+        return ast.InList(column, tuple(values))
+    for op in ("<=", ">=", "<>", "!=", "=", "<", ">"):
+        if s.accept_op(op):
+            return ast.Comparison(column, "<>" if op == "!=" else op,
+                                  _literal(s))
+    raise SqlSyntaxError(
+        f"expected a comparison or IN at offset {s.current.position}"
+    )
+
+
+def _column_ref(s: TokenStream) -> str:
+    """``name`` or ``table.name`` — the qualifier is dropped."""
+    name = s.expect_name()
+    if s.accept_op("."):
+        return s.expect_name()
+    return name
+
+
+def _literal(s: TokenStream) -> ast.Literal:
+    if s.accept_op("-"):
+        return -s.expect_number()
+    token = s.current
+    if token.kind == "number":
+        s.advance()
+        return int(token.value)
+    if token.kind == "string":
+        s.advance()
+        return token.value
+    raise SqlSyntaxError(
+        f"expected a literal at offset {token.position}, "
+        f"found {token.value!r}"
+    )

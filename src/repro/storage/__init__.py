@@ -1,0 +1,23 @@
+"""Storage substrate: simulated disk, buffer pool, pages, heap files."""
+
+from repro.storage.buffer import BufferPool, BufferStats
+from repro.storage.disk import DiskParameters, DiskStats, SimClock, SimulatedDisk
+from repro.storage.freespace import FreeSpaceMap
+from repro.storage.heap import HeapFile
+from repro.storage.page_formats import SlottedPage
+from repro.storage.rid import RID
+from repro.storage.serializer import RecordSerializer
+
+__all__ = [
+    "BufferPool",
+    "BufferStats",
+    "DiskParameters",
+    "DiskStats",
+    "FreeSpaceMap",
+    "HeapFile",
+    "RID",
+    "RecordSerializer",
+    "SimClock",
+    "SimulatedDisk",
+    "SlottedPage",
+]

@@ -1,0 +1,44 @@
+"""Free-space tracking for heap files.
+
+A minimal free-space map in the spirit of McAuliffe et al. [14] as cited
+by the paper: per-page free-byte estimates kept in memory, consulted on
+insert so the heap does not grow while earlier pages have room (e.g.
+after a bulk delete has carved holes into the file).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+
+class FreeSpaceMap:
+    """Tracks approximate free bytes for the pages of one heap file."""
+
+    def __init__(self) -> None:
+        self._free: Dict[int, int] = {}
+
+    def record(self, page_id: int, free_bytes: int) -> None:
+        self._free[page_id] = max(0, free_bytes)
+
+    def forget(self, page_id: int) -> None:
+        self._free.pop(page_id, None)
+
+    def free_bytes(self, page_id: int) -> int:
+        return self._free.get(page_id, 0)
+
+    def find_page_with(self, needed_bytes: int) -> Optional[int]:
+        """Return some page with at least ``needed_bytes``, or ``None``.
+
+        First fit in page order keeps inserts clustered towards the
+        front of the file.
+        """
+        for page_id in sorted(self._free):
+            if self._free[page_id] >= needed_bytes:
+                return page_id
+        return None
+
+    def pages(self) -> Iterator[int]:
+        return iter(sorted(self._free))
+
+    def __len__(self) -> int:
+        return len(self._free)

@@ -1,0 +1,28 @@
+"""Concurrency control for bulk deletes (paper Section 3.1)."""
+
+from repro.txn.coordinator import (
+    BulkDeleteCoordinator,
+    CoordinatorReport,
+    Phase,
+    PropagationMode,
+    UpdateRouter,
+)
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.sidefile import SideFile, SideFileEntry, SideFileOp
+from repro.txn.transactions import Transaction, TransactionManager, TxnState
+
+__all__ = [
+    "BulkDeleteCoordinator",
+    "CoordinatorReport",
+    "LockManager",
+    "LockMode",
+    "Phase",
+    "PropagationMode",
+    "SideFile",
+    "SideFileEntry",
+    "SideFileOp",
+    "Transaction",
+    "TransactionManager",
+    "TxnState",
+    "UpdateRouter",
+]

@@ -1,0 +1,162 @@
+"""Table/row locking with lock escalation.
+
+The paper argues that concurrent access during the *base-table* phase of
+a bulk delete is pointless: engines with lock escalation "would switch
+to an exclusive lock on the base table anyway", and engines without it
+would drown in row-lock conflicts.  This module provides exactly enough
+locking to express that argument and to test the coordinator's
+protocol: shared/exclusive/intention modes on named resources, row
+locks counted per (transaction, table), and automatic escalation to a
+table lock past a threshold.
+
+The engine is single-threaded, so a conflicting request does not block
+— it raises :class:`LockConflictError`, which the concurrency tests
+treat as "this transaction would have to wait".
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import LockConflictError, TransactionError
+
+
+class LockMode(enum.Enum):
+    """Standard multi-granularity lock modes."""
+
+    S = "S"
+    X = "X"
+    IS = "IS"
+    IX = "IX"
+
+
+#: mode -> set of modes it is compatible with
+_COMPATIBLE: Dict[LockMode, Set[LockMode]] = {
+    LockMode.IS: {LockMode.IS, LockMode.IX, LockMode.S},
+    LockMode.IX: {LockMode.IS, LockMode.IX},
+    LockMode.S: {LockMode.IS, LockMode.S},
+    LockMode.X: set(),
+}
+
+DEFAULT_ESCALATION_THRESHOLD = 1000
+
+
+@dataclass
+class _Grant:
+    txn_id: int
+    mode: LockMode
+
+
+class LockManager:
+    """Grants/denies locks; escalates row locks to table locks."""
+
+    def __init__(
+        self, escalation_threshold: int = DEFAULT_ESCALATION_THRESHOLD
+    ) -> None:
+        self.escalation_threshold = escalation_threshold
+        self._table_locks: Dict[str, List[_Grant]] = defaultdict(list)
+        self._row_locks: Dict[Tuple[str, object], List[_Grant]] = defaultdict(
+            list
+        )
+        self._row_lock_counts: Dict[Tuple[int, str], int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # table locks
+    # ------------------------------------------------------------------
+    def lock_table(self, txn_id: int, table: str, mode: LockMode) -> None:
+        grants = self._table_locks[table]
+        for grant in grants:
+            if grant.txn_id == txn_id:
+                continue
+            if mode not in _COMPATIBLE[grant.mode]:
+                raise LockConflictError(
+                    f"txn {txn_id} wants {mode.value} on {table}, "
+                    f"txn {grant.txn_id} holds {grant.mode.value}"
+                )
+        existing = self._find(grants, txn_id)
+        if existing is None:
+            grants.append(_Grant(txn_id, mode))
+        elif _stronger(mode, existing.mode):
+            existing.mode = mode
+
+    def lock_row(
+        self, txn_id: int, table: str, row_key: object, mode: LockMode
+    ) -> None:
+        """Row lock (S or X); escalates to a table lock past the threshold."""
+        if mode not in (LockMode.S, LockMode.X):
+            raise TransactionError("row locks are S or X only")
+        intent = LockMode.IS if mode is LockMode.S else LockMode.IX
+        self.lock_table(txn_id, table, intent)
+        grants = self._row_locks[(table, row_key)]
+        for grant in grants:
+            if grant.txn_id == txn_id:
+                continue
+            if mode not in _COMPATIBLE[grant.mode]:
+                raise LockConflictError(
+                    f"txn {txn_id} wants row {row_key!r} of {table} "
+                    f"in {mode.value}; held by txn {grant.txn_id}"
+                )
+        existing = self._find(grants, txn_id)
+        if existing is None:
+            grants.append(_Grant(txn_id, mode))
+            self._row_lock_counts[(txn_id, table)] += 1
+        elif _stronger(mode, existing.mode):
+            existing.mode = mode
+        if self._row_lock_counts[(txn_id, table)] > self.escalation_threshold:
+            self._escalate(txn_id, table, mode)
+
+    def _escalate(self, txn_id: int, table: str, mode: LockMode) -> None:
+        """Replace a transaction's row locks with one table lock."""
+        table_mode = LockMode.X if mode is LockMode.X else LockMode.S
+        self.lock_table(txn_id, table, table_mode)
+        for key, grants in list(self._row_locks.items()):
+            if key[0] != table:
+                continue
+            grants[:] = [g for g in grants if g.txn_id != txn_id]
+            if not grants:
+                del self._row_locks[key]
+        self._row_lock_counts[(txn_id, table)] = 0
+
+    # ------------------------------------------------------------------
+    # release & introspection
+    # ------------------------------------------------------------------
+    def release_all(self, txn_id: int) -> None:
+        for grants in self._table_locks.values():
+            grants[:] = [g for g in grants if g.txn_id != txn_id]
+        for key, grants in list(self._row_locks.items()):
+            grants[:] = [g for g in grants if g.txn_id != txn_id]
+            if not grants:
+                del self._row_locks[key]
+        for key in [k for k in self._row_lock_counts if k[0] == txn_id]:
+            del self._row_lock_counts[key]
+
+    def release_table(self, txn_id: int, table: str) -> None:
+        grants = self._table_locks.get(table, [])
+        grants[:] = [g for g in grants if g.txn_id != txn_id]
+
+    def table_mode_of(self, txn_id: int, table: str) -> Optional[LockMode]:
+        grant = self._find(self._table_locks.get(table, []), txn_id)
+        return grant.mode if grant else None
+
+    def holders(self, table: str) -> List[Tuple[int, LockMode]]:
+        return [(g.txn_id, g.mode) for g in self._table_locks.get(table, [])]
+
+    def row_lock_count(self, txn_id: int, table: str) -> int:
+        return self._row_lock_counts.get((txn_id, table), 0)
+
+    @staticmethod
+    def _find(grants: List[_Grant], txn_id: int) -> Optional[_Grant]:
+        for grant in grants:
+            if grant.txn_id == txn_id:
+                return grant
+        return None
+
+
+_STRENGTH = {LockMode.IS: 0, LockMode.IX: 1, LockMode.S: 1, LockMode.X: 2}
+
+
+def _stronger(a: LockMode, b: LockMode) -> bool:
+    return _STRENGTH[a] > _STRENGTH[b]

@@ -1,0 +1,193 @@
+"""Side-files: update capture for off-line indexes (paper §3.1.1).
+
+While a bulk delete owns an index, concurrent updaters cannot touch it.
+With the *side-file* approach (derived from Mohan & Narang's online
+index creation [17]) their changes are appended to a per-index log of
+``(op, key, rid)`` entries instead.  Once the bulk delete has processed
+the index, the side-file is drained into it; when almost nothing is
+left, updates are *quiesced*, the tail is applied, and the index comes
+back on-line.
+
+A side-file is a *file*: when the captured volume outgrows its memory
+threshold it spills sealed chunks to the simulated disk (sequential
+appends), and the drain streams them back in FIFO order.  High-churn
+workloads therefore cannot blow up memory while an index is off-line.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.btree.tree import BLinkTree
+from repro.errors import TransactionError
+from repro.query.spill import SpillFile
+from repro.storage.disk import SimulatedDisk
+
+
+class SideFileOp(enum.Enum):
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class SideFileEntry:
+    op: SideFileOp
+    key: int
+    rid: int
+
+
+class SideFile:
+    """Captured index updates awaiting replay.
+
+    Entries live in memory up to ``spill_threshold``; beyond it, full
+    chunks are sealed to disk (``disk`` must be given to enable
+    spilling) and replayed from there in FIFO order.
+    """
+
+    def __init__(
+        self,
+        index_name: str,
+        disk: Optional[SimulatedDisk] = None,
+        spill_threshold: int = 4096,
+        log: Optional[object] = None,  # repro.recovery.wal.WriteAheadLog
+    ) -> None:
+        self.index_name = index_name
+        self.disk = disk
+        #: When given, every append is also forced to the WAL, so a
+        #: crash can reconstruct the side-file (§3.2: side-file changes
+        #: "have to be made durable after the bulk deletion changes").
+        self.log = log
+        self.spill_threshold = max(1, spill_threshold)
+        self._memory: List[SideFileEntry] = []
+        self._chunks: List[SpillFile] = []
+        self._spilled_pending = 0
+        self._applied_in_memory = 0
+        self.total_captured = 0
+        self.quiesced = False
+
+    def append(
+        self, op: SideFileOp, key: int, rid: int
+    ) -> None:
+        if self.quiesced:
+            raise TransactionError(
+                f"index {self.index_name} is quiescing: updates must wait"
+            )
+        self._memory.append(SideFileEntry(op, key, rid))
+        self.total_captured += 1
+        if self.log is not None:
+            self.log.append(
+                "side_file_op",
+                index=self.index_name,
+                op=op.value,
+                key=key,
+                rid=rid,
+            )
+        if (
+            self.disk is not None
+            and len(self._memory) - self._applied_in_memory
+            >= self.spill_threshold
+        ):
+            self._spill()
+
+    def _spill(self) -> None:
+        """Seal the unapplied in-memory tail into one disk chunk."""
+        tail = self._memory[self._applied_in_memory:]
+        chunk = SpillFile(self.disk, width=3)
+        chunk.extend(
+            (1 if e.op is SideFileOp.INSERT else 0, e.key, e.rid)
+            for e in tail
+        )
+        chunk.seal()
+        self._chunks.append(chunk)
+        self._spilled_pending += len(tail)
+        self._memory = []
+        self._applied_in_memory = 0
+
+    @property
+    def pending(self) -> int:
+        return (
+            self._spilled_pending
+            + len(self._memory)
+            - self._applied_in_memory
+        )
+
+    def apply_batch(self, tree: BLinkTree, limit: Optional[int] = None) -> int:
+        """Replay up to ``limit`` pending entries into ``tree``.
+
+        Replay order matters (an insert followed by a delete of the same
+        entry must cancel out), so spilled chunks are applied strictly
+        before the in-memory tail, each FIFO.  Returns the number
+        applied.
+        """
+        applied = 0
+        while self._chunks and (limit is None or applied < limit):
+            # Chunks are sealed: a partially applied chunk re-spills its
+            # remainder so appends can continue meanwhile.
+            chunk = self._chunks.pop(0)
+            rows = list(chunk)
+            chunk.free()
+            self._spilled_pending -= len(rows)
+            take = len(rows) if limit is None else min(
+                len(rows), limit - applied
+            )
+            for is_insert, key, rid in rows[:take]:
+                if is_insert:
+                    tree.insert(key, rid)
+                else:
+                    tree.delete(key, rid)
+            applied += take
+            if take < len(rows):
+                rest = SpillFile(self.disk, width=3)
+                rest.extend(rows[take:])
+                rest.seal()
+                self._chunks.insert(0, rest)
+                self._spilled_pending += len(rows) - take
+                return applied
+        while self._applied_in_memory < len(self._memory):
+            if limit is not None and applied >= limit:
+                break
+            entry = self._memory[self._applied_in_memory]
+            if entry.op is SideFileOp.INSERT:
+                tree.insert(entry.key, entry.rid)
+            else:
+                tree.delete(entry.key, entry.rid)
+            self._applied_in_memory += 1
+            applied += 1
+        return applied
+
+    def drain(
+        self,
+        tree: BLinkTree,
+        quiesce_threshold: int = 16,
+        batch: int = 256,
+    ) -> Tuple[int, int]:
+        """Drain the side-file per the paper's protocol.
+
+        Apply in batches while the writer may still append; once fewer
+        than ``quiesce_threshold`` entries remain, quiesce (further
+        appends raise), apply the tail, and report
+        ``(applied, batches)``.  The caller brings the index on-line
+        afterwards.
+        """
+        applied = 0
+        batches = 0
+        while self.pending > quiesce_threshold:
+            applied += self.apply_batch(tree, limit=batch)
+            batches += 1
+        self.quiesced = True
+        applied += self.apply_batch(tree)
+        batches += 1
+        return applied, batches
+
+    def reset(self) -> None:
+        """Forget everything (after the index is back on-line)."""
+        for chunk in self._chunks:
+            chunk.free()
+        self._chunks = []
+        self._spilled_pending = 0
+        self._memory = []
+        self._applied_in_memory = 0
+        self.total_captured = 0
+        self.quiesced = False

@@ -1,0 +1,78 @@
+"""Transactions: identifiers, states, and the manager.
+
+A deliberately small transaction layer: enough to express "this update
+ran concurrently with the bulk delete" in tests and examples.  The
+engine is single-threaded; interleaving is driven explicitly by the
+caller (or the coordinator), so a transaction here is a locking scope
+plus an undo list.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import TransactionError
+from repro.txn.locks import LockManager
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """One unit of work: id, state, and compensating actions for abort."""
+
+    txn_id: int
+    state: TxnState = TxnState.ACTIVE
+    _undo: List[Callable[[], None]] = field(default_factory=list)
+
+    def on_abort(self, action: Callable[[], None]) -> None:
+        """Register a compensating action, run in reverse order on abort."""
+        self._require_active()
+        self._undo.append(action)
+
+    def _require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"txn {self.txn_id} is {self.state.value}, not active"
+            )
+
+
+class TransactionManager:
+    """Begin/commit/abort plus the shared lock manager."""
+
+    def __init__(self, lock_manager: Optional[LockManager] = None) -> None:
+        self.locks = lock_manager or LockManager()
+        self._next_id = 1
+        self._active: List[Transaction] = []
+
+    def begin(self) -> Transaction:
+        txn = Transaction(self._next_id)
+        self._next_id += 1
+        self._active.append(txn)
+        return txn
+
+    def commit(self, txn: Transaction) -> None:
+        txn._require_active()
+        txn.state = TxnState.COMMITTED
+        txn._undo.clear()
+        self.locks.release_all(txn.txn_id)
+        self._active.remove(txn)
+
+    def abort(self, txn: Transaction) -> None:
+        txn._require_active()
+        for action in reversed(txn._undo):
+            action()
+        txn._undo.clear()
+        txn.state = TxnState.ABORTED
+        self.locks.release_all(txn.txn_id)
+        self._active.remove(txn)
+
+    @property
+    def active_transactions(self) -> List[Transaction]:
+        return list(self._active)

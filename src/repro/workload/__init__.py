@@ -1,0 +1,35 @@
+"""Synthetic workload generation per Section 4.1 of the paper."""
+
+from repro.workload.scenarios import (
+    Scenario,
+    build_scenario,
+    scenario,
+    scenario_names,
+)
+from repro.workload.generator import (
+    INT_COLUMNS,
+    PAPER_RECORD_BYTES,
+    PAPER_RECORD_COUNT,
+    Workload,
+    WorkloadConfig,
+    build_workload,
+    generate_rows,
+    make_schema,
+    pick_inner_fanout,
+)
+
+__all__ = [
+    "Scenario",
+    "build_scenario",
+    "scenario",
+    "scenario_names",
+    "INT_COLUMNS",
+    "PAPER_RECORD_BYTES",
+    "PAPER_RECORD_COUNT",
+    "Workload",
+    "WorkloadConfig",
+    "build_workload",
+    "generate_rows",
+    "make_schema",
+    "pick_inner_fanout",
+]

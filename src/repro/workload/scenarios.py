@@ -1,0 +1,90 @@
+"""Named workload scenarios.
+
+A registry of the configurations the paper's evaluation uses, plus the
+extension scenarios, so benches, tests, the CLI, and downstream users
+can say ``build_scenario("paper-default")`` instead of re-assembling
+`WorkloadConfig` knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.workload.generator import Workload, WorkloadConfig, build_workload
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, documented workload configuration."""
+
+    name: str
+    description: str
+    config: WorkloadConfig
+
+    def build(self, record_count: Optional[int] = None) -> Workload:
+        config = self.config
+        if record_count is not None:
+            config = replace(config, record_count=record_count)
+        return build_workload(config)
+
+
+_SCENARIOS: Dict[str, Scenario] = {}
+
+
+def _register(name: str, description: str, config: WorkloadConfig) -> None:
+    _SCENARIOS[name] = Scenario(name, description, config)
+
+
+_register(
+    "paper-default",
+    "Section 4.1's base setup: one unclustered index on A, the 5 MB "
+    "memory budget (scaled).  Experiments 1, 3 and 4 start here.",
+    WorkloadConfig(index_columns=("A",), memory_paper_mb=5.0),
+)
+_register(
+    "three-indexes",
+    "Figure 1 / Figure 8's heavy end: indexes on A, B and C.",
+    WorkloadConfig(index_columns=("A", "B", "C"), memory_paper_mb=5.0),
+)
+_register(
+    "clustered",
+    "Experiment 5: the table clustered on A, the traditional plan's "
+    "best case.",
+    WorkloadConfig(index_columns=("A",), memory_paper_mb=5.0,
+                   clustered_on="A"),
+)
+_register(
+    "tall-index",
+    "Experiment 3's height-4 variant (inner fan-out capped).",
+    WorkloadConfig(index_columns=("A",), memory_paper_mb=5.0,
+                   index_height=4),
+)
+_register(
+    "tiny-memory",
+    "Experiment 4's low end: the 2 MB budget (scaled), floor lowered "
+    "so it actually binds.",
+    WorkloadConfig(index_columns=("A",), memory_paper_mb=2.0,
+                   memory_floor_pages=8),
+)
+
+
+def scenario(name: str) -> Scenario:
+    """Look up a scenario; raises ``KeyError`` with the catalog."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(_SCENARIOS)}"
+        )
+
+
+def scenario_names() -> List[str]:
+    return sorted(_SCENARIOS)
+
+
+def build_scenario(
+    name: str, record_count: Optional[int] = None
+) -> Workload:
+    """Build the named scenario's database."""
+    return scenario(name).build(record_count)

@@ -1,0 +1,79 @@
+"""Shared fixtures: small databases, populated tables, tiny workloads."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro import Attribute, Database, TableSchema
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture
+def disk() -> SimulatedDisk:
+    return SimulatedDisk(page_size=512)
+
+
+@pytest.fixture
+def strict_disk() -> SimulatedDisk:
+    return SimulatedDisk(page_size=512, retain_freed=False)
+
+
+@pytest.fixture
+def pool(disk: SimulatedDisk) -> BufferPool:
+    return BufferPool(disk, capacity_pages=8)
+
+
+@pytest.fixture
+def db() -> Database:
+    """A database with small pages so trees get interesting shapes."""
+    return Database(page_size=512, memory_bytes=64 * 1024)
+
+
+SCHEMA = TableSchema.of(
+    "R",
+    [
+        Attribute.int_("A"),
+        Attribute.int_("B"),
+        Attribute.char("PAD", 40),
+    ],
+)
+
+
+def populate(
+    db: Database,
+    n: int = 500,
+    seed: int = 7,
+    indexes: Tuple[str, ...] = ("A", "B"),
+    unique_a: bool = True,
+    clustered_on: str = None,
+) -> Dict[str, List[int]]:
+    """Create table R with ``n`` rows and indexes; returns column values."""
+    rng = random.Random(seed)
+    a_vals = rng.sample(range(10 * n), n)
+    b_vals = rng.sample(range(10 * n), n)
+    rows = list(zip(a_vals, b_vals, ["p"] * n))
+    if clustered_on == "A":
+        rows.sort(key=lambda r: r[0])
+    elif clustered_on == "B":
+        rows.sort(key=lambda r: r[1])
+    db.create_table(SCHEMA)
+    db.load_table("R", rows)
+    for col in indexes:
+        db.create_index(
+            "R",
+            col,
+            unique=(unique_a and col == "A"),
+            clustered=(col == clustered_on),
+        )
+    return {"A": a_vals, "B": b_vals}
+
+
+@pytest.fixture
+def populated_db() -> Tuple[Database, Dict[str, List[int]]]:
+    database = Database(page_size=512, memory_bytes=64 * 1024)
+    values = populate(database)
+    return database, values

@@ -1,0 +1,168 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+
+
+def make(disk, frames=3):
+    return BufferPool(disk, capacity_pages=frames)
+
+
+def test_pin_fetches_and_caches(disk):
+    pool = make(disk)
+    pid = disk.allocate_page(disk.create_file())
+    with pool.pin(pid):
+        pass
+    reads_after_first = disk.stats.reads
+    with pool.pin(pid):
+        pass
+    assert disk.stats.reads == reads_after_first  # hit, no new read
+    assert pool.stats.hits == 1
+    assert pool.stats.misses == 1
+
+
+def test_dirty_page_written_back_on_eviction(disk):
+    pool = make(disk, frames=1)
+    f = disk.create_file()
+    a, b = disk.allocate_page(f), disk.allocate_page(f)
+    with pool.pin(a) as page:
+        page.data[0] = 0xAB
+        page.mark_dirty()
+    with pool.pin(b):
+        pass  # evicts a
+    assert disk.read_page(a)[0] == 0xAB
+    assert pool.stats.evictions == 1
+    assert pool.stats.dirty_writebacks == 1
+
+
+def test_clean_eviction_does_not_write(disk):
+    pool = make(disk, frames=1)
+    f = disk.create_file()
+    a, b = disk.allocate_page(f), disk.allocate_page(f)
+    with pool.pin(a):
+        pass
+    writes = disk.stats.writes
+    with pool.pin(b):
+        pass
+    assert disk.stats.writes == writes
+
+
+def test_pinned_pages_not_evictable(disk):
+    pool = make(disk, frames=1)
+    f = disk.create_file()
+    a, b = disk.allocate_page(f), disk.allocate_page(f)
+    handle = pool.pin(a)
+    with pytest.raises(BufferPoolError):
+        pool.pin(b)
+    handle.__exit__(None, None, None)
+    with pool.pin(b):
+        pass
+
+
+def test_unpin_without_pin_raises(disk):
+    pool = make(disk)
+    with pytest.raises(BufferPoolError):
+        pool.unpin(123)
+
+
+def test_lru_order_evicts_oldest(disk):
+    pool = make(disk, frames=2)
+    f = disk.create_file()
+    a, b, c = disk.allocate_pages(f, 3)
+    with pool.pin(a):
+        pass
+    with pool.pin(b):
+        pass
+    with pool.pin(a):  # touch a: b becomes LRU
+        pass
+    with pool.pin(c):
+        pass
+    assert pool.contains(a)
+    assert not pool.contains(b)
+
+
+def test_pin_new_allocates_dirty_zero_page(disk):
+    pool = make(disk)
+    f = disk.create_file()
+    with pool.pin_new(f) as page:
+        assert bytes(page.data) == bytes(disk.page_size)
+        pid = page.page_id
+    pool.flush_all()
+    assert disk.read_page(pid) == bytes(disk.page_size)
+
+
+def test_flush_all_clears_dirty_bits(disk):
+    pool = make(disk)
+    pid = disk.allocate_page(disk.create_file())
+    with pool.pin(pid) as page:
+        page.data[1] = 7
+        page.mark_dirty()
+    pool.flush_all()
+    writes = disk.stats.writes
+    pool.flush_all()  # second flush writes nothing
+    assert disk.stats.writes == writes
+
+
+def test_discard_drops_without_writeback(disk):
+    pool = make(disk)
+    pid = disk.allocate_page(disk.create_file())
+    with pool.pin(pid) as page:
+        page.data[0] = 9
+        page.mark_dirty()
+    pool.discard(pid)
+    assert disk.read_page(pid)[0] == 0  # modification lost on purpose
+    pool.discard(pid)  # idempotent
+
+
+def test_discard_pinned_raises(disk):
+    pool = make(disk)
+    pid = disk.allocate_page(disk.create_file())
+    handle = pool.pin(pid)
+    with pytest.raises(BufferPoolError):
+        pool.discard(pid)
+    handle.__exit__(None, None, None)
+
+
+def test_invalidate_all_loses_unflushed_changes(disk):
+    pool = make(disk)
+    pid = disk.allocate_page(disk.create_file())
+    with pool.pin(pid) as page:
+        page.data[0] = 5
+        page.mark_dirty()
+    pool.invalidate_all()
+    assert disk.read_page(pid)[0] == 0
+    assert pool.resident_count == 0
+
+
+def test_clear_flushes_then_empties(disk):
+    pool = make(disk)
+    pid = disk.allocate_page(disk.create_file())
+    with pool.pin(pid) as page:
+        page.data[0] = 5
+        page.mark_dirty()
+    pool.clear()
+    assert disk.read_page(pid)[0] == 5
+    assert pool.resident_count == 0
+
+
+def test_with_byte_budget_minimum_one_frame(disk):
+    pool = BufferPool.with_byte_budget(disk, 10)
+    assert pool.capacity_pages == 1
+
+
+def test_capacity_validation(disk):
+    with pytest.raises(ValueError):
+        BufferPool(disk, 0)
+
+
+def test_hit_ratio(disk):
+    pool = make(disk)
+    pid = disk.allocate_page(disk.create_file())
+    with pool.pin(pid):
+        pass
+    with pool.pin(pid):
+        pass
+    assert pool.stats.hit_ratio == pytest.approx(0.5)

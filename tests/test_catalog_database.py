@@ -1,0 +1,192 @@
+"""Unit tests for the catalog and the Database facade."""
+
+import pytest
+
+from repro import Attribute, Database, TableSchema
+from repro.btree.maintenance import validate_tree
+from repro.catalog.catalog import IndexState
+from repro.errors import (
+    CatalogError,
+    IndexOfflineError,
+    SchemaError,
+    UniqueViolationError,
+)
+from tests.conftest import SCHEMA, populate
+
+
+def test_create_table_and_insert(db):
+    db.create_table(SCHEMA)
+    rid = db.insert("R", (1, 2, "x"))
+    assert db.read("R", rid) == (1, 2, "x")
+
+
+def test_duplicate_table_rejected(db):
+    db.create_table(SCHEMA)
+    with pytest.raises(CatalogError):
+        db.create_table(SCHEMA)
+
+
+def test_unknown_table_rejected(db):
+    with pytest.raises(CatalogError):
+        db.table("nope")
+
+
+def test_insert_maintains_all_indexes(db):
+    values = populate(db, n=100)
+    table = db.table("R")
+    rid = db.insert("R", (999999, 888888, "n"))
+    assert table.index("I_R_A").tree.contains(999999, rid.pack())
+    assert table.index("I_R_B").tree.contains(888888, rid.pack())
+
+
+def test_unique_violation_blocks_whole_insert(db):
+    values = populate(db, n=50)
+    table = db.table("R")
+    count_before = table.record_count
+    b_entries = table.index("I_R_B").tree.entry_count
+    with pytest.raises(UniqueViolationError):
+        db.insert("R", (values["A"][0], 777777, "dup"))
+    assert table.record_count == count_before
+    assert table.index("I_R_B").tree.entry_count == b_entries
+
+
+def test_delete_record_removes_from_everything(db):
+    values = populate(db, n=60)
+    table = db.table("R")
+    rid, row = next(db.scan("R"))
+    db.delete_record("R", rid)
+    assert not table.heap.exists(rid)
+    assert not table.index("I_R_A").tree.contains(row[0], rid.pack())
+    assert not table.index("I_R_B").tree.contains(row[1], rid.pack())
+    validate_tree(table.index("I_R_A").tree)
+
+
+def test_create_index_backfills_existing_rows(db):
+    populate(db, n=80, indexes=())
+    index = db.create_index("R", "B")
+    assert index.tree.entry_count == 80
+    validate_tree(index.tree)
+
+
+def test_create_index_insert_method_equivalent(db):
+    populate(db, n=80, indexes=())
+    bulk = db.create_index("R", "A", name="bulk_ix", build_method="bulk")
+    ins = db.create_index("R", "B", name="ins_ix", build_method="insert")
+    assert ins.tree.entry_count == bulk.tree.entry_count == 80
+    validate_tree(ins.tree)
+
+
+def test_create_index_bad_method(db):
+    populate(db, n=10, indexes=())
+    with pytest.raises(CatalogError):
+        db.create_index("R", "A", build_method="magic")
+
+
+def test_index_on_char_column_rejected(db):
+    populate(db, n=10, indexes=())
+    with pytest.raises(SchemaError):
+        db.create_index("R", "PAD")
+
+
+def test_drop_index(db):
+    populate(db, n=30)
+    db.drop_index("R", "I_R_B")
+    with pytest.raises(CatalogError):
+        db.table("R").index("I_R_B")
+
+
+def test_drop_table_frees_pages(db):
+    populate(db, n=50)
+    pages_before = db.disk.num_pages
+    db.drop_table("R")
+    assert db.disk.num_pages < pages_before
+    with pytest.raises(CatalogError):
+        db.table("R")
+
+
+def test_load_table_requires_no_indexes(db):
+    populate(db, n=10)
+    with pytest.raises(CatalogError):
+        db.load_table("R", [(1, 2, "x")])
+
+
+def test_two_clustered_indexes_rejected(db):
+    populate(db, n=20, indexes=())
+    db.create_index("R", "A", clustered=True)
+    with pytest.raises(CatalogError):
+        db.create_index("R", "B", clustered=True)
+
+
+def test_offline_index_blocks_dml(db):
+    populate(db, n=20)
+    table = db.table("R")
+    table.index("I_R_B").set_offline()
+    assert table.index("I_R_B").state is IndexState.OFFLINE
+    with pytest.raises(IndexOfflineError):
+        db.insert("R", (123456, 654321, "x"))
+    table.index("I_R_B").set_online()
+    db.insert("R", (123456, 654321, "x"))
+
+
+def test_scan_yields_decoded_rows(db):
+    values = populate(db, n=25)
+    scanned = {v[0] for _, v in db.scan("R")}
+    assert scanned == set(values["A"])
+
+
+def test_indexes_on_column(db):
+    populate(db, n=10)
+    table = db.table("R")
+    assert [ix.name for ix in table.indexes_on("A")] == ["I_R_A"]
+    assert table.indexes_on("PAD") == []
+
+
+def test_io_report_mentions_stats(db):
+    populate(db, n=10)
+    report = db.io_report()
+    assert "buffer hit ratio" in report
+    assert "sim time" in report
+
+
+def test_vacuum_reclaims_after_bulk_delete(db):
+    from repro import bulk_delete
+
+    values = populate(db, n=400)
+    bulk_delete(
+        db, "R", "A", values["A"][:300],
+        options=__import__("repro").BulkDeleteOptions(
+            reclaim_heap_pages=False
+        ),
+    )
+    table = db.table("R")
+    pages_before = table.heap.page_count
+    leaves_before = table.index("I_R_A").tree.leaf_count()
+    report = db.vacuum("R")
+    assert report["heap_pages_freed"] > 0
+    assert report["leaves_merged"] > 0
+    assert table.heap.page_count < pages_before
+    assert table.index("I_R_A").tree.leaf_count() < leaves_before
+    from repro.btree.maintenance import validate_tree
+
+    for ix in table.indexes.values():
+        validate_tree(ix.tree)
+    # Data intact.
+    assert {v[0] for _, v in db.scan("R")} == set(values["A"][300:])
+
+
+def test_vacuum_compacts_tombstoned_heap_pages(db):
+    values = populate(db, n=60, indexes=())
+    table = db.table("R")
+    victims = [rid for rid, _ in table.heap.scan()][::2]
+    for rid in victims:
+        table.heap.delete(rid)
+    report = db.vacuum("R")
+    assert report["heap_pages_compacted"] > 0
+    assert table.record_count == 30
+
+
+def test_vacuum_on_clean_table_is_noop(db):
+    populate(db, n=50)
+    report = db.vacuum("R")
+    assert report["heap_pages_freed"] == 0
+    assert report["leaves_merged"] >= 0

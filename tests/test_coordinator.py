@@ -1,0 +1,238 @@
+"""Tests for the §3 concurrent bulk-delete protocol."""
+
+import pytest
+
+from repro import Database
+from repro.btree.maintenance import validate_tree
+from repro.errors import (
+    IndexOfflineError,
+    LockConflictError,
+    TransactionError,
+    UniqueViolationError,
+)
+from repro.storage.rid import RID
+from repro.txn.coordinator import (
+    BulkDeleteCoordinator,
+    Phase,
+    PropagationMode,
+    UpdateRouter,
+)
+from repro.txn.locks import LockMode
+from repro.txn.sidefile import SideFile, SideFileOp
+from repro.txn.transactions import TransactionManager
+from tests.conftest import populate
+
+
+def setup(n=300, mode=PropagationMode.SIDE_FILE):
+    db = Database(page_size=512, memory_bytes=64 * 1024)
+    values = populate(db, n=n)  # unique index on A, plain index on B
+    keys = values["A"][:100]
+    coord = BulkDeleteCoordinator(db, "R", "A", keys, mode=mode)
+    return db, values, keys, coord
+
+
+# ----------------------------------------------------------------------
+# side-file unit behaviour
+# ----------------------------------------------------------------------
+def test_sidefile_fifo_replay(db):
+    populate(db, n=20)
+    tree = db.table("R").index("I_R_B").tree
+    side = SideFile("I_R_B")
+    side.append(SideFileOp.INSERT, 777, 123)
+    side.append(SideFileOp.DELETE, 777, 123)
+    applied, _ = side.drain(tree)
+    assert applied == 2
+    assert not tree.contains(777)
+
+
+def test_sidefile_quiesce_blocks_appends(db):
+    populate(db, n=20)
+    tree = db.table("R").index("I_R_B").tree
+    side = SideFile("x")
+    for i in range(5):
+        side.append(SideFileOp.INSERT, 1000 + i, i)
+    side.drain(tree, quiesce_threshold=100)
+    assert side.quiesced
+    with pytest.raises(TransactionError):
+        side.append(SideFileOp.INSERT, 9, 9)
+    side.reset()
+    side.append(SideFileOp.INSERT, 9, 9)  # usable again after reset
+
+
+# ----------------------------------------------------------------------
+# the coordinator protocol
+# ----------------------------------------------------------------------
+def test_full_protocol_side_file_mode():
+    db, values, keys, coord = setup()
+    report = coord.run_to_completion()
+    assert report.records_deleted == 100
+    assert coord.phase is Phase.DONE
+    table = db.table("R")
+    assert table.record_count == 200
+    for index in table.indexes.values():
+        assert index.is_online
+        assert index.tree.entry_count == 200
+        validate_tree(index.tree)
+
+
+def test_table_locked_during_critical_phase():
+    db, values, keys, coord = setup()
+    coord.begin()
+    other = coord.tm.begin()
+    with pytest.raises(LockConflictError):
+        coord.tm.locks.lock_row(other.txn_id, "R", "k", LockMode.X)
+    coord.process_critical_phase()
+    coord.commit_critical()
+    # After the commit point the table is free again.
+    coord.tm.locks.lock_row(other.txn_id, "R", "k", LockMode.X)
+
+
+def test_indexes_offline_during_critical_phase():
+    db, values, keys, coord = setup()
+    coord.begin()
+    table = db.table("R")
+    assert all(not ix.is_online for ix in table.indexes.values())
+    coord.process_critical_phase()
+    coord.commit_critical()
+    # Unique/driving index back on-line; non-unique B still off-line.
+    assert table.index("I_R_A").is_online
+    assert not table.index("I_R_B").is_online
+    assert coord.pending_indexes() == ["I_R_B"]
+
+
+def test_concurrent_insert_via_side_file():
+    db, values, keys, coord = setup()
+    coord.begin()
+    coord.process_critical_phase()
+    coord.commit_critical()
+    router = UpdateRouter(db, coord)
+    txn = coord.tm.begin()
+    rid = router.insert(txn, "R", (900001, 900002, "new"))
+    coord.tm.commit(txn)
+    table = db.table("R")
+    # Heap and on-line index updated now; B only in the side-file.
+    assert table.index("I_R_A").tree.contains(900001)
+    assert not table.index("I_R_B").tree.contains(900002)
+    assert coord.side_files["I_R_B"].pending == 1
+    coord.process_index("I_R_B")
+    assert table.index("I_R_B").tree.contains(900002, rid.pack())
+    assert table.index("I_R_B").is_online
+    validate_tree(table.index("I_R_B").tree)
+
+
+def test_concurrent_delete_via_side_file():
+    db, values, keys, coord = setup()
+    coord.begin()
+    coord.process_critical_phase()
+    coord.commit_critical()
+    router = UpdateRouter(db, coord)
+    txn = coord.tm.begin()
+    # Delete a survivor record concurrently.
+    survivor_rid, survivor = next(iter(db.scan("R")))
+    router.delete(txn, "R", survivor_rid)
+    coord.tm.commit(txn)
+    coord.process_index("I_R_B")
+    table = db.table("R")
+    assert not table.index("I_R_B").tree.contains(survivor[1])
+    assert table.record_count == 199
+    validate_tree(table.index("I_R_B").tree)
+
+
+def test_unique_constraint_enforced_after_commit_point():
+    db, values, keys, coord = setup()
+    coord.begin()
+    coord.process_critical_phase()
+    coord.commit_critical()
+    router = UpdateRouter(db, coord)
+    txn = coord.tm.begin()
+    survivor = values["A"][150]  # not deleted
+    with pytest.raises(UniqueViolationError):
+        router.insert(txn, "R", (survivor, 12345, "dup"))
+    # And re-inserting a *deleted* key succeeds: it is gone from the
+    # unique index because unique indexes were processed first.
+    router.insert(txn, "R", (keys[0], 54321, "re"))
+
+
+def test_update_blocked_while_unique_index_offline():
+    db, values, keys, coord = setup()
+    coord.begin()  # critical phase: everything off-line
+    router = UpdateRouter(db, coord)
+    txn = coord.tm.begin()
+    with pytest.raises((IndexOfflineError, LockConflictError)):
+        router.insert(txn, "R", (910000, 910001, "x"))
+
+
+def test_direct_propagation_applies_immediately():
+    db, values, keys, coord = setup(mode=PropagationMode.DIRECT)
+    coord.begin()
+    coord.process_critical_phase()
+    coord.commit_critical()
+    router = UpdateRouter(db, coord)
+    txn = coord.tm.begin()
+    rid = router.insert(txn, "R", (920001, 920002, "d"))
+    coord.tm.commit(txn)
+    table = db.table("R")
+    # Direct mode: already installed in the off-line index.
+    assert table.index("I_R_B").tree.contains(920002, rid.pack())
+    assert (920002, rid.pack()) in coord.undeletable["I_R_B"]
+    coord.process_index("I_R_B")
+    assert table.index("I_R_B").tree.contains(920002, rid.pack())
+    assert table.index("I_R_B").tree.entry_count == 201
+    validate_tree(table.index("I_R_B").tree)
+
+
+def test_direct_propagation_protects_reused_rid():
+    """The §3.1.2 race: a concurrent insert re-uses a RID from the
+    delete set; its index entry must survive the bulk delete."""
+    db, values, keys, coord = setup(mode=PropagationMode.DIRECT)
+    coord.begin()
+    coord.process_critical_phase()
+    coord.commit_critical()
+    router = UpdateRouter(db, coord)
+    txn = coord.tm.begin()
+    # Inserts after the table phase reuse freed slots, i.e. RIDs from
+    # the delete set.
+    rid = router.insert(txn, "R", (930001, 930002, "r"))
+    coord.tm.commit(txn)
+    assert rid.pack() in set(coord._rid_list)  # the race actually occurs
+    coord.process_index("I_R_B")
+    table = db.table("R")
+    assert table.index("I_R_B").tree.contains(930002, rid.pack())
+
+
+def test_abort_rolls_back_direct_propagation():
+    db, values, keys, coord = setup(mode=PropagationMode.DIRECT)
+    coord.begin()
+    coord.process_critical_phase()
+    coord.commit_critical()
+    router = UpdateRouter(db, coord)
+    txn = coord.tm.begin()
+    rid = router.insert(txn, "R", (940001, 940002, "a"))
+    coord.tm.abort(txn)
+    table = db.table("R")
+    assert not table.heap.exists(rid)
+    assert not table.index("I_R_A").tree.contains(940001)
+    assert not table.index("I_R_B").tree.contains(940002)
+    assert (940002, rid.pack()) not in coord.undeletable["I_R_B"]
+    coord.process_index("I_R_B")
+    assert table.index("I_R_B").tree.entry_count == 200
+
+
+def test_phase_ordering_enforced():
+    db, values, keys, coord = setup()
+    with pytest.raises(TransactionError):
+        coord.process_critical_phase()
+    coord.begin()
+    with pytest.raises(TransactionError):
+        coord.begin()
+    with pytest.raises(TransactionError):
+        coord.process_index("I_R_B")
+
+
+def test_report_counts():
+    db, values, keys, coord = setup()
+    report = coord.run_to_completion()
+    structures = [bd.structure for bd in report.critical_steps]
+    assert "I_R_A" in structures and "R" in structures
+    assert [bd.structure for bd in report.propagation_steps] == ["I_R_B"]
+    assert report.side_file_applied == {"I_R_B": 0}

@@ -1,0 +1,117 @@
+"""Engine-level property tests: the whole database against a dict model.
+
+Hypothesis drives sequences of bulk deletes, record inserts, point
+deletes and bulk updates against a reference model, verifying after
+every step that the heap and every index agree with it exactly.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Attribute, Database, TableSchema, bulk_delete, bulk_update
+from repro.btree.maintenance import validate_tree
+from repro.core.plans import BdMethod
+
+
+def build_db(rows):
+    db = Database(page_size=512, memory_bytes=64 * 1024)
+    db.create_table(TableSchema.of(
+        "t", [Attribute.int_("k"), Attribute.int_("v")]
+    ))
+    db.load_table("t", rows)
+    db.create_index("t", "k", unique=True)
+    db.create_index("t", "v")
+    return db
+
+
+def check_against_model(db, model):
+    """model: dict k -> v."""
+    scanned = {row[0]: row[1] for _, row in db.scan("t")}
+    assert scanned == model
+    table = db.table("t")
+    assert table.record_count == len(model)
+    k_tree = table.index("I_t_k").tree
+    v_tree = table.index("I_t_v").tree
+    validate_tree(k_tree)
+    validate_tree(v_tree)
+    assert sorted(k for k, _ in k_tree.items()) == sorted(model)
+    assert sorted(v for v, _ in v_tree.items()) == sorted(model.values())
+
+
+row_strategy = st.dictionaries(
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=0, max_value=50),
+    min_size=1,
+    max_size=120,
+)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    rows=row_strategy,
+    data=st.data(),
+)
+def test_bulk_delete_matches_model(rows, data):
+    model = dict(rows)
+    db = build_db(list(model.items()))
+    method = data.draw(st.sampled_from(list(BdMethod)[:3]))
+    victims = data.draw(
+        st.lists(st.integers(min_value=0, max_value=600), max_size=60)
+    )
+    bulk_delete(db, "t", "k", victims, prefer_method=method)
+    for k in victims:
+        model.pop(k, None)
+    check_against_model(db, model)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=row_strategy, delta=st.integers(min_value=1, max_value=100),
+       threshold=st.integers(min_value=0, max_value=50))
+def test_bulk_update_matches_model(rows, delta, threshold):
+    model = dict(rows)
+    db = build_db(list(model.items()))
+    bulk_update(
+        db, "t", "v",
+        compute=lambda row, d=delta: row[1] + d,
+        where=lambda row, t=threshold: row[1] >= t,
+    )
+    for k, v in model.items():
+        if v >= threshold:
+            model[k] = v + delta
+    check_against_model(db, model)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=row_strategy, data=st.data())
+def test_mixed_operation_sequences(rows, data):
+    model = dict(rows)
+    db = build_db(list(model.items()))
+    next_key = 10_000
+    for _ in range(data.draw(st.integers(min_value=1, max_value=4))):
+        op = data.draw(st.sampled_from(["bulk", "insert", "point"]))
+        if op == "bulk" and model:
+            victims = data.draw(
+                st.lists(st.sampled_from(sorted(model)), max_size=25)
+            )
+            bulk_delete(db, "t", "k", victims)
+            for k in victims:
+                model.pop(k, None)
+        elif op == "insert":
+            value = data.draw(st.integers(min_value=0, max_value=50))
+            db.insert("t", (next_key, value))
+            model[next_key] = value
+            next_key += 1
+        elif op == "point" and model:
+            k = data.draw(st.sampled_from(sorted(model)))
+            rid = None
+            for r, row in db.scan("t"):
+                if row[0] == k:
+                    rid = r
+                    break
+            db.delete_record("t", rid)
+            del model[k]
+    check_against_model(db, model)

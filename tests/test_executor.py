@@ -1,0 +1,199 @@
+"""End-to-end tests for the vertical bulk-delete executor.
+
+The central invariant: every execution strategy — vertical sort/merge,
+hash, partitioned hash, with or without reorganization options, and the
+traditional baselines — must leave the database in exactly the same
+logical state.
+"""
+
+import random
+
+import pytest
+
+from repro import Database
+from repro.btree.maintenance import validate_tree
+from repro.core.executor import BulkDeleteOptions, bulk_delete, execute_plan
+from repro.core.planner import choose_plan
+from repro.core.plans import BdMethod
+from repro.core.traditional import traditional_delete
+from repro.errors import PlanningError
+from tests.conftest import populate
+
+
+def fresh(n=400, **kw):
+    db = Database(page_size=512, memory_bytes=64 * 1024)
+    values = populate(db, n=n, **kw)
+    return db, values
+
+
+def check_consistent(db, deleted_keys, values, n):
+    table = db.table("R")
+    deleted = set(deleted_keys)
+    survivors = {v[0] for _, v in db.scan("R")}
+    assert survivors == set(values["A"]) - deleted
+    assert table.record_count == n - len(deleted)
+    for index in table.indexes.values():
+        validate_tree(index.tree)
+        assert index.tree.entry_count == n - len(deleted)
+        for key in deleted_keys:
+            column_values = values[index.column]
+            victim_key = column_values[values["A"].index(key)]
+            assert not index.tree.contains(victim_key)
+
+
+def test_sort_merge_end_to_end():
+    db, values = fresh()
+    keys = values["A"][:120]
+    result = bulk_delete(db, "R", "A", keys,
+                         prefer_method=BdMethod.SORT_MERGE)
+    assert result.records_deleted == 120
+    check_consistent(db, keys, values, 400)
+
+
+def test_hash_end_to_end():
+    db, values = fresh()
+    keys = values["A"][:120]
+    result = bulk_delete(db, "R", "A", keys, prefer_method=BdMethod.HASH)
+    assert result.records_deleted == 120
+    check_consistent(db, keys, values, 400)
+
+
+def test_partitioned_end_to_end():
+    db, values = fresh()
+    keys = values["A"][:120]
+    result = bulk_delete(
+        db, "R", "A", keys, prefer_method=BdMethod.PARTITIONED_HASH
+    )
+    assert result.records_deleted == 120
+    check_consistent(db, keys, values, 400)
+
+
+def test_all_methods_agree():
+    contents = []
+    for method in (BdMethod.SORT_MERGE, BdMethod.HASH,
+                   BdMethod.PARTITIONED_HASH):
+        db, values = fresh()
+        keys = values["A"][100:250]
+        bulk_delete(db, "R", "A", keys, prefer_method=method)
+        contents.append(sorted(v for _, v in db.scan("R")))
+    assert contents[0] == contents[1] == contents[2]
+
+
+def test_vertical_equals_traditional():
+    db_v, values = fresh()
+    keys = values["A"][:150]
+    bulk_delete(db_v, "R", "A", keys)
+    db_t, values_t = fresh()
+    traditional_delete(db_t, "R", "A", keys)
+    assert sorted(v for _, v in db_v.scan("R")) == sorted(
+        v for _, v in db_t.scan("R")
+    )
+
+
+def test_compact_leaves_option():
+    db, values = fresh()
+    keys = values["A"][:200]
+    result = bulk_delete(
+        db, "R", "A", keys,
+        options=BulkDeleteOptions(compact_leaves=True),
+    )
+    assert result.records_deleted == 200
+    check_consistent(db, keys, values, 400)
+    # Compaction should leave a dense leaf level.
+    table = db.table("R")
+    for index in table.indexes.values():
+        leaves = index.tree.leaf_count()
+        per_leaf = index.tree.leaf_capacity
+        assert leaves <= (200 // (per_leaf // 2)) + 2
+
+
+def test_base_node_reorg_option():
+    db, values = fresh()
+    keys = values["A"][:150]
+    result = bulk_delete(
+        db, "R", "A", keys,
+        options=BulkDeleteOptions(base_node_reorg=True),
+    )
+    assert result.records_deleted == 150
+    check_consistent(db, keys, values, 400)
+
+
+def test_reclaim_heap_pages():
+    db, values = fresh()
+    table = db.table("R")
+    pages_before = table.heap.page_count
+    result = bulk_delete(db, "R", "A", values["A"][:350])
+    assert result.heap_pages_reclaimed > 0
+    assert table.heap.page_count < pages_before
+
+
+def test_delete_without_driving_index():
+    db = Database(page_size=512, memory_bytes=64 * 1024)
+    values = populate(db, n=300, indexes=("A",))
+    keys_b = values["B"][:80]
+    result = bulk_delete(db, "R", "B", keys_b)
+    assert result.records_deleted == 80
+    survivors = {v[1] for _, v in db.scan("R")}
+    assert survivors.isdisjoint(set(keys_b))
+    validate_tree(db.table("R").index("I_R_A").tree)
+
+
+def test_keys_not_in_table_are_ignored():
+    db, values = fresh()
+    missing = [10**9 + i for i in range(5)]
+    result = bulk_delete(db, "R", "A", values["A"][:10] + missing)
+    assert result.records_deleted == 10
+
+
+def test_delete_everything():
+    db, values = fresh(n=200)
+    result = bulk_delete(db, "R", "A", list(values["A"]))
+    assert result.records_deleted == 200
+    assert list(db.scan("R")) == []
+    for index in db.table("R").indexes.values():
+        assert index.tree.entry_count == 0
+        validate_tree(index.tree)
+
+
+def test_duplicate_keys_in_delete_list():
+    db, values = fresh()
+    keys = values["A"][:50] * 3
+    result = bulk_delete(db, "R", "A", keys)
+    assert result.records_deleted == 50
+
+
+def test_clustered_path_skips_rid_sort():
+    db = Database(page_size=512, memory_bytes=64 * 1024)
+    values = populate(db, n=300, indexes=("A", "B"), clustered_on="A")
+    keys = values["A"][:90]
+    result = bulk_delete(db, "R", "A", keys)
+    assert result.plan.sort_rid_list is False
+    assert result.records_deleted == 90
+    check_consistent(db, keys, values, 300)
+
+
+def test_result_reports_io_and_steps():
+    db, values = fresh()
+    result = bulk_delete(db, "R", "A", values["A"][:60])
+    assert result.io is not None
+    assert result.io.total_ios > 0
+    assert result.elapsed_ms > 0
+    names = [s.structure for s in result.step_results]
+    assert "I_R_A" in names and "R" in names and "I_R_B" in names
+    assert "deleted 60 records" in result.summary()
+
+
+def test_execute_plan_rejects_horizontal():
+    db, values = fresh()
+    plan = choose_plan(db, "R", "A", 1)  # horizontal for tiny n
+    if plan.table_step().method.name == "NESTED_LOOPS":
+        with pytest.raises(PlanningError):
+            execute_plan(db, plan, values["A"][:1])
+
+
+def test_auto_dispatch_to_traditional():
+    db, values = fresh()
+    result = bulk_delete(db, "R", "A", values["A"][:1],
+                         force_vertical=False)
+    assert result.records_deleted == 1
+    assert result.step_results == []  # ran horizontally

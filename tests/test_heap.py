@@ -1,0 +1,137 @@
+"""Unit tests for heap files."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.heap import HeapFile
+from repro.storage.rid import RID
+
+
+@pytest.fixture
+def heap(pool):
+    return HeapFile(pool, name="t")
+
+
+def rec(i, size=40):
+    return (b"%06d" % i).ljust(size, b".")
+
+
+def test_insert_read_roundtrip(heap):
+    rid = heap.insert(rec(1))
+    assert heap.read(rid) == rec(1)
+    assert heap.record_count == 1
+
+
+def test_append_spans_pages(heap):
+    rids = [heap.append(rec(i, size=120)) for i in range(12)]
+    assert heap.page_count > 1
+    assert heap.record_count == 12
+    for i, rid in enumerate(rids):
+        assert heap.read(rid) == rec(i, size=120)
+
+
+def test_scan_in_physical_order(heap):
+    rids = [heap.append(rec(i, size=120)) for i in range(10)]
+    scanned = list(heap.scan())
+    assert [r for r, _ in scanned] == rids
+    assert [payload for _, payload in scanned] == [
+        rec(i, size=120) for i in range(10)
+    ]
+
+
+def test_delete_keeps_other_rids_stable(heap):
+    rids = [heap.append(rec(i)) for i in range(6)]
+    heap.delete(rids[2])
+    assert heap.record_count == 5
+    assert heap.read(rids[3]) == rec(3)
+    assert not heap.exists(rids[2])
+    assert heap.exists(rids[3])
+
+
+def test_insert_reuses_freed_space(heap):
+    rids = [heap.append(rec(i, size=120)) for i in range(8)]
+    pages_before = heap.page_count
+    heap.delete(rids[0])
+    new_rid = heap.insert(rec(99, size=120))
+    assert heap.page_count == pages_before  # no growth
+    assert new_rid.page_id == rids[0].page_id  # hole reused
+
+
+def test_delete_many_sorted_returns_payloads(heap):
+    rids = [heap.append(rec(i, size=100)) for i in range(10)]
+    victims = sorted([rids[1], rids[4], rids[7]])
+    deleted = heap.delete_many_sorted(victims)
+    assert [r for r, _ in deleted] == victims
+    assert deleted[0][1] == rec(1, size=100)
+    assert heap.record_count == 7
+
+
+def test_delete_many_sorted_pins_each_page_once(heap):
+    rids = [heap.append(rec(i, size=100)) for i in range(12)]
+    heap.pool.stats.hits = heap.pool.stats.misses = 0
+    victims = sorted(rids)
+    heap.delete_many_sorted(victims)
+    pages = {r.page_id for r in rids}
+    assert heap.pool.stats.accesses == len(pages)
+
+
+def test_delete_many_page_callback_sees_pre_image(heap):
+    rids = sorted(heap.append(rec(i, size=100)) for i in range(6))
+    seen = []
+    heap.delete_many_sorted(rids, on_page_deletes=lambda b: seen.extend(b))
+    assert len(seen) == 6
+    assert all(payload for _, payload in seen)
+
+
+def test_reclaim_empty_pages(heap):
+    rids = [heap.append(rec(i, size=120)) for i in range(12)]
+    first_page = rids[0].page_id
+    victims = sorted(r for r in rids if r.page_id == first_page)
+    heap.delete_many_sorted(victims)
+    freed = heap.reclaim_empty_pages()
+    assert freed == 1
+    assert first_page not in heap.page_ids
+
+
+def test_reclaim_keeps_partial_pages(heap):
+    rids = [heap.append(rec(i, size=120)) for i in range(12)]
+    heap.delete(rids[0])
+    assert heap.reclaim_empty_pages() == 0
+
+
+def test_bad_rid_raises(heap):
+    heap.append(rec(0))
+    with pytest.raises(StorageError):
+        heap.read(RID(999999, 0))
+    with pytest.raises(StorageError):
+        heap.delete(RID(999999, 0))
+    assert not heap.exists(RID(999999, 0))
+
+
+def test_drop_frees_all_pages(heap):
+    for i in range(12):
+        heap.append(rec(i, size=120))
+    pages = list(heap.page_ids)
+    heap.drop()
+    assert heap.page_count == 0
+    assert heap.record_count == 0
+    for pid in pages:
+        assert not heap.pool.disk.page_exists(pid)
+
+
+def test_scan_pages_groups_by_page(heap):
+    for i in range(12):
+        heap.append(rec(i, size=120))
+    total = 0
+    for page_id, records in heap.scan_pages():
+        assert records, "scan_pages must skip nothing"
+        total += len(records)
+    assert total == 12
+
+
+def test_compact_pages_during_bulk_delete(heap):
+    rids = sorted(heap.append(rec(i, size=100)) for i in range(8))
+    heap.delete_many_sorted(rids[:4], compact_pages=True)
+    # Survivors still readable after compaction.
+    for rid in rids[4:]:
+        assert heap.read(rid) == rec(rids.index(rid), size=100)

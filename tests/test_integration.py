@@ -1,0 +1,195 @@
+"""End-to-end integration tests across the whole stack."""
+
+import random
+
+import pytest
+
+from repro import (
+    Attribute,
+    Database,
+    TableSchema,
+    bulk_delete,
+    bulk_update,
+)
+from repro.btree.maintenance import validate_tree
+from repro.core.plans import BdMethod
+from repro.recovery.restart import RecoverableBulkDelete, recover
+from repro.recovery.wal import WriteAheadLog
+from repro.sql.interpreter import SqlSession
+from repro.txn.coordinator import BulkDeleteCoordinator, UpdateRouter
+from repro.workload.generator import WorkloadConfig, build_workload
+
+
+def test_full_lifecycle_through_sql():
+    """DDL -> load -> mixed DML -> bulk delete -> verify, all via SQL."""
+    db = Database(page_size=1024, memory_bytes=64 * 1024)
+    sql = SqlSession(db, force_vertical=True)
+    sql.execute(
+        "CREATE TABLE orders (oid INT, cust INT, total INT, pad CHAR(64))"
+    )
+    sql.execute("CREATE TABLE stale (oid INT)")
+    rng = random.Random(21)
+    oids = rng.sample(range(10**7), 800)
+    for start in range(0, 800, 200):
+        rows = ", ".join(
+            f"({o}, {rng.randrange(50)}, {rng.randrange(1000)}, 'p')"
+            for o in oids[start:start + 200]
+        )
+        sql.execute(f"INSERT INTO orders VALUES {rows}")
+    sql.execute("CREATE UNIQUE INDEX io ON orders (oid)")
+    sql.execute("CREATE INDEX ic ON orders (cust)")
+    sql.execute("CREATE INDEX it ON orders (total)")
+
+    # Mixed single-row churn.
+    sql.execute("DELETE FROM orders WHERE oid IN "
+                f"({oids[0]}, {oids[1]})")
+    sql.execute(f"INSERT INTO orders VALUES ({oids[0]}, 1, 10, 'back')")
+    sql.execute("UPDATE orders SET total = total + 5 WHERE cust = 7")
+
+    # Bulk delete through the paper's statement.
+    stale = oids[100:400]
+    values = ", ".join(f"({o})" for o in stale)
+    sql.execute(f"INSERT INTO stale VALUES {values}")
+    result = sql.execute(
+        "DELETE FROM orders WHERE oid IN (SELECT oid FROM stale)"
+    )
+    assert result.affected == 300  # oids[100:400] all alive
+
+    remaining = sql.execute("SELECT oid FROM orders").rows
+    assert len(remaining) == 800 - 2 + 1 - 300
+    table = db.table("orders")
+    for ix in table.indexes.values():
+        validate_tree(ix.tree)
+        assert ix.tree.entry_count == len(remaining)
+
+
+def test_delete_update_interleaving_consistency():
+    """Alternate bulk deletes and bulk updates; indexes stay exact."""
+    db = Database(page_size=512, memory_bytes=64 * 1024)
+    schema = TableSchema.of(
+        "t", [Attribute.int_("k"), Attribute.int_("v")]
+    )
+    db.create_table(schema)
+    rng = random.Random(3)
+    keys = rng.sample(range(10**6), 600)
+    db.load_table("t", [(k, k % 1000) for k in keys])
+    db.create_index("t", "k", unique=True)
+    db.create_index("t", "v")
+    alive = set(keys)
+    for round_no in range(4):
+        victims = rng.sample(sorted(alive), 60)
+        bulk_delete(db, "t", "k", victims)
+        alive -= set(victims)
+        bulk_update(
+            db, "t", "v",
+            compute=lambda row: row[1] + 10_000,
+            where=lambda row: row[1] < 500,
+        )
+        table = db.table("t")
+        assert table.record_count == len(alive)
+        for ix in table.indexes.values():
+            validate_tree(ix.tree)
+            assert ix.tree.entry_count == len(alive)
+    model = {v[0]: v[1] for _, v in db.scan("t")}
+    index_v = db.table("t").index("I_t_v").tree
+    assert sorted(index_v.items()) == sorted(
+        (v, rid.pack())
+        for rid, row in db.scan("t")
+        for v in [row[1]]
+    )
+
+
+def test_every_method_and_every_option_agree():
+    """The vertical execution matrix: 3 methods x 3 reorg options all
+    produce identical logical states."""
+    from repro.core.executor import BulkDeleteOptions
+
+    combos = []
+    for method in (BdMethod.SORT_MERGE, BdMethod.HASH,
+                   BdMethod.PARTITIONED_HASH):
+        for options in (
+            None,
+            BulkDeleteOptions(compact_leaves=True),
+            BulkDeleteOptions(base_node_reorg=True),
+        ):
+            wl = build_workload(WorkloadConfig(record_count=1200))
+            keys = wl.delete_keys(0.2)
+            bulk_delete(wl.db, "R", "A", keys, prefer_method=method,
+                        options=options)
+            combos.append(sorted(v[:3] for _, v in wl.db.scan("R")))
+            for ix in wl.db.table("R").indexes.values():
+                validate_tree(ix.tree)
+    assert all(c == combos[0] for c in combos[1:])
+
+
+def test_coordinator_then_recovery_pipeline():
+    """Concurrent protocol and crash recovery against the same data."""
+    db = Database(page_size=512, memory_bytes=32 * 512)
+    schema = TableSchema.of(
+        "t", [Attribute.int_("k"), Attribute.int_("v")]
+    )
+    db.create_table(schema)
+    rng = random.Random(13)
+    keys = rng.sample(range(10**6), 500)
+    db.load_table("t", [(k, k % 97) for k in keys])
+    db.create_index("t", "k", unique=True)
+    db.create_index("t", "v")
+    db.flush()
+
+    # Round 1: concurrent coordinator delete with a mid-flight insert.
+    coord = BulkDeleteCoordinator(db, "t", "k", keys[:100])
+    coord.begin()
+    coord.process_critical_phase()
+    coord.commit_critical()
+    router = UpdateRouter(db, coord)
+    txn = coord.tm.begin()
+    router.insert(txn, "t", (10**7, 55))
+    coord.tm.commit(txn)
+    for name in coord.pending_indexes():
+        coord.process_index(name)
+    assert db.table("t").record_count == 401
+
+    # Round 2: recoverable delete that crashes and restarts.
+    log = WriteAheadLog(db.disk)
+    runner = RecoverableBulkDelete(
+        db, "t", "k", keys[100:200], log, crash_point="after_table"
+    )
+    from repro.recovery.restart import SimulatedCrash
+
+    with pytest.raises(SimulatedCrash):
+        runner.run()
+    recover(db, log)
+    table = db.table("t")
+    assert table.record_count == 301
+    for ix in table.indexes.values():
+        validate_tree(ix.tree)
+        assert ix.tree.entry_count == 301
+
+
+def test_compound_index_full_pipeline():
+    """Compound index maintained through load, bulk delete, update."""
+    from repro.catalog.composite import CompositeKeyCodec
+
+    db = Database(page_size=512, memory_bytes=64 * 1024)
+    schema = TableSchema.of(
+        "t",
+        [Attribute.int_("k"), Attribute.int_("a"), Attribute.int_("b")],
+    )
+    db.create_table(schema)
+    db.load_table("t", [(i, i % 8, i % 30) for i in range(500)])
+    db.create_index("t", "k", unique=True)
+    codec = CompositeKeyCodec.of(8, 16)
+    db.create_index("t", "a", name="iab", columns=("a", "b"), codec=codec)
+
+    bulk_delete(db, "t", "k", list(range(0, 500, 5)))
+    bulk_update(db, "t", "b", compute=lambda r: r[2] + 100,
+                where=lambda r: r[1] == 3)
+    table = db.table("t")
+    iab = table.index("iab")
+    validate_tree(iab.tree)
+    assert iab.tree.entry_count == table.record_count
+    expected = sorted(
+        (codec.pack((row[1], row[2])), rid.pack())
+        for rid, row in db.scan("t")
+    )
+    assert sorted(iab.tree.items()) == expected

@@ -1,0 +1,169 @@
+"""Tests for query operators (access paths) and catalog statistics."""
+
+import pytest
+
+from repro import Database
+from repro.btree.node import MAX_KEY, MIN_KEY
+from repro.catalog.statistics import (
+    collect_statistics,
+    collect_table_statistics,
+)
+from repro.query.operators import (
+    AccessPath,
+    choose_access_path,
+    execute_access_path,
+    filter_rows,
+    index_equality_lookup,
+    index_range_scan,
+    project,
+    table_scan,
+)
+from tests.conftest import populate
+
+
+@pytest.fixture
+def table_db(db):
+    values = populate(db, n=200)
+    return db, values
+
+
+def test_table_scan_covers_everything(table_db):
+    db, values = table_db
+    table = db.table("R")
+    rows = list(table_scan(table))
+    assert len(rows) == 200
+    assert {row[0] for _, row in rows} == set(values["A"])
+
+
+def test_index_equality_lookup(table_db):
+    db, values = table_db
+    table = db.table("R")
+    key = values["A"][42]
+    rows = list(index_equality_lookup(table, table.index("I_R_A"), key))
+    assert len(rows) == 1
+    assert rows[0][1][0] == key
+    assert index_equality_lookup(table, table.index("I_R_A"), -1) is not None
+    assert list(
+        index_equality_lookup(table, table.index("I_R_A"), 10**9)
+    ) == []
+
+
+def test_index_range_scan_in_key_order(table_db):
+    db, values = table_db
+    table = db.table("R")
+    a_sorted = sorted(values["A"])
+    lo, hi = a_sorted[20], a_sorted[60]
+    rows = list(index_range_scan(table, table.index("I_R_A"), lo, hi))
+    keys = [row[0] for _, row in rows]
+    assert keys == a_sorted[20:61]
+
+
+def test_filter_and_project(table_db):
+    db, values = table_db
+    table = db.table("R")
+    median = sorted(values["B"])[100]
+    filtered = filter_rows(table_scan(table), lambda r: r[1] >= median)
+    projected = list(project(filtered, [1]))
+    assert len(projected) == 100
+    assert all(b >= median for (b,) in projected)
+
+
+def test_choose_access_path_equality(table_db):
+    db, values = table_db
+    table = db.table("R")
+    path = choose_access_path(table, "A", "=", 5)
+    assert path.kind == "index-eq"
+    assert "I_R_A" in path.describe()
+
+
+def test_choose_access_path_ranges(table_db):
+    db, values = table_db
+    table = db.table("R")
+    path = choose_access_path(table, "A", "<", 100)
+    assert path.kind == "index-range"
+    assert path.lo == MIN_KEY and path.hi == 99
+    path = choose_access_path(table, "A", ">=", 100)
+    assert (path.lo, path.hi) == (100, MAX_KEY)
+
+
+def test_choose_access_path_falls_back_to_scan(table_db):
+    db, values = table_db
+    table = db.table("R")
+    assert choose_access_path(table, None, None, None).kind == "scan"
+    assert choose_access_path(table, "PAD", "=", 1).kind == "scan"
+    assert choose_access_path(table, "A", "<>", 1).kind == "scan"
+    table.index("I_R_A").set_offline()
+    assert choose_access_path(table, "A", "=", 1).kind == "scan"
+    table.index("I_R_A").set_online()
+
+
+def test_execute_access_path_matches_scan(table_db):
+    db, values = table_db
+    table = db.table("R")
+    threshold = sorted(values["A"])[150]
+    path = choose_access_path(table, "A", ">=", threshold)
+    via_index = sorted(row for _, row in execute_access_path(table, path))
+    via_scan = sorted(
+        row for _, row in table_scan(table) if row[0] >= threshold
+    )
+    assert via_index == via_scan
+
+
+def test_select_uses_fewer_pages_with_index(table_db):
+    """The access path matters: an equality SELECT via the index must
+    touch far fewer pages than a scan."""
+    db, values = table_db
+    from repro.sql.interpreter import SqlSession
+
+    db.flush()
+    session = SqlSession(db)
+    before = db.disk.stats.snapshot()
+    db.pool.invalidate_all()  # cold cache
+    session.execute(f"SELECT A FROM R WHERE A = {values['A'][0]}")
+    indexed_reads = db.disk.stats.delta_since(before).reads
+    db.pool.invalidate_all()
+    before = db.disk.stats.snapshot()
+    session.execute("SELECT A FROM R WHERE PAD = 'nope'")
+    scan_reads = db.disk.stats.delta_since(before).reads
+    assert indexed_reads < scan_reads / 3
+
+
+# ----------------------------------------------------------------------
+# statistics
+# ----------------------------------------------------------------------
+def test_statistics_estimate_close_to_exact(table_db):
+    db, values = table_db
+    table = db.table("R")
+    estimated = collect_table_statistics(table)
+    exact = collect_table_statistics(table, exact=True)
+    assert estimated.record_count == exact.record_count == 200
+    assert estimated.heap_pages == exact.heap_pages
+    for name in exact.indexes:
+        est = estimated.indexes[name].leaf_pages
+        act = exact.indexes[name].leaf_pages
+        assert abs(est - act) <= max(2, act // 3)
+
+
+def test_statistics_no_io(table_db):
+    db, values = table_db
+    db.flush()
+    db.pool.invalidate_all()
+    before = db.disk.stats.snapshot()
+    collect_table_statistics(db.table("R"))
+    assert db.disk.stats.delta_since(before).reads == 0
+
+
+def test_statistics_selectivity_and_density(table_db):
+    db, values = table_db
+    stats = collect_table_statistics(db.table("R"))
+    assert stats.selectivity(20) == pytest.approx(0.1)
+    assert stats.selectivity(10**9) == 1.0
+    assert stats.records_per_page > 1
+    assert stats.indexes["I_R_A"].entries_per_leaf > 1
+
+
+def test_collect_statistics_all_tables(table_db):
+    db, values = table_db
+    all_stats = collect_statistics(db)
+    assert set(all_stats) == {"R"}
+    assert all_stats["R"].record_count == 200

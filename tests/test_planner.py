@@ -1,0 +1,137 @@
+"""Unit tests for the bulk-delete planner."""
+
+import pytest
+
+from repro import Database
+from repro.core.planner import (
+    choose_plan,
+    estimate_horizontal_ms,
+    estimate_vertical_ms,
+    rid_hash_fits,
+)
+from repro.core.plans import TABLE_TARGET, BdMethod, BdPredicate
+from repro.errors import PlanningError
+from tests.conftest import populate
+
+
+def test_plan_for_unknown_column_rejected(db):
+    populate(db, n=50)
+    with pytest.raises(PlanningError):
+        choose_plan(db, "R", "NOPE", 10)
+
+
+def test_small_delete_chooses_horizontal(db):
+    populate(db, n=500)
+    plan = choose_plan(db, "R", "A", 1)
+    assert plan.table_step().method is BdMethod.NESTED_LOOPS
+
+
+def test_large_delete_chooses_vertical(db):
+    populate(db, n=500)
+    plan = choose_plan(db, "R", "A", 100)
+    assert plan.table_step().method is not BdMethod.NESTED_LOOPS
+    assert plan.driving_index == "I_R_A"
+
+
+def test_crossover_is_monotone(db):
+    """There is one horizontal->vertical switch point as n grows."""
+    populate(db, n=500)
+    kinds = [
+        choose_plan(db, "R", "A", n).table_step().method
+        is BdMethod.NESTED_LOOPS
+        for n in [1, 2, 5, 10, 25, 50, 100, 200, 400]
+    ]
+    # True...True False...False (no flapping back).
+    assert kinds == sorted(kinds, reverse=True)
+    assert kinds[0] is True
+    assert kinds[-1] is False
+
+
+def test_force_vertical_overrides_crossover(db):
+    populate(db, n=500)
+    plan = choose_plan(db, "R", "A", 1, force_vertical=True)
+    assert plan.table_step().method is not BdMethod.NESTED_LOOPS
+
+
+def test_driving_index_first_then_table(db):
+    populate(db, n=300)
+    plan = choose_plan(db, "R", "A", 100, force_vertical=True)
+    targets = [step.target for step in plan.steps]
+    assert targets[0] == "I_R_A"
+    assert targets.index(TABLE_TARGET) < targets.index("I_R_B")
+
+
+def test_unique_index_scheduled_before_table(db):
+    populate(db, n=300, indexes=("B",), unique_a=False)
+    db.create_index("R", "A", unique=True, name="uniq_a")
+    # Delete on B: A's unique index must be processed before the table.
+    plan = choose_plan(db, "R", "B", 100, force_vertical=True)
+    targets = [step.target for step in plan.steps]
+    assert targets.index("uniq_a") < targets.index(TABLE_TARGET)
+    step = next(s for s in plan.steps if s.target == "uniq_a")
+    assert step.method is BdMethod.HASH
+    assert step.predicate is BdPredicate.RID
+
+
+def test_clustered_driving_index_skips_rid_sort(db):
+    populate(db, n=300, indexes=("A", "B"), clustered_on="A")
+    plan = choose_plan(db, "R", "A", 60, force_vertical=True)
+    assert plan.sort_rid_list is False
+    assert any("clustered" in note for note in plan.notes)
+
+
+def test_unclustered_driving_index_sorts_rids(db):
+    populate(db, n=300)
+    plan = choose_plan(db, "R", "A", 60, force_vertical=True)
+    assert plan.sort_rid_list is True
+
+
+def test_no_index_on_column_plans_scan(db):
+    populate(db, n=300, indexes=("A",))
+    plan = choose_plan(db, "R", "B", 60, force_vertical=True)
+    assert plan.driving_index is None
+    assert plan.sort_rid_list is False
+
+
+def test_hash_falls_back_to_partitioned_when_too_big(db):
+    populate(db, n=300)
+    assert not rid_hash_fits(db, 10**9)
+    plan = choose_plan(
+        db, "R", "A", 10**9, prefer_method=BdMethod.HASH,
+        force_vertical=True,
+    )
+    index_methods = {
+        s.target: s.method for s in plan.steps if not s.is_table
+    }
+    assert index_methods["I_R_B"] is BdMethod.PARTITIONED_HASH
+
+
+def test_hash_method_when_it_fits(db):
+    populate(db, n=300)
+    plan = choose_plan(
+        db, "R", "A", 50, prefer_method=BdMethod.HASH, force_vertical=True
+    )
+    step = next(s for s in plan.steps if s.target == "I_R_B")
+    assert step.method is BdMethod.HASH
+    assert step.predicate is BdPredicate.RID
+
+
+def test_estimates_scale_with_workload(db):
+    populate(db, n=400)
+    table = db.table("R")
+    small = estimate_horizontal_ms(db, table, 10)
+    large = estimate_horizontal_ms(db, table, 100)
+    assert large.io_ms > small.io_ms * 5
+    vert_small = estimate_vertical_ms(db, table, 10)
+    vert_large = estimate_vertical_ms(db, table, 100)
+    # Vertical cost is dominated by sweeps: nearly flat in n.
+    assert vert_large.io_ms < vert_small.io_ms * 3
+
+
+def test_explain_mentions_structure_and_order(db):
+    populate(db, n=300)
+    plan = choose_plan(db, "R", "A", 100, force_vertical=True)
+    text = plan.explain()
+    assert "I_R_A" in text
+    assert "bd[" in text
+    assert "BULK DELETE FROM R" in text

@@ -1,0 +1,166 @@
+"""Tests for ASCII plots, side-file spilling, and example smoke runs."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.plots import render_chart
+from repro.btree.tree import BLinkTree
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.txn.sidefile import SideFile, SideFileOp
+
+
+# ----------------------------------------------------------------------
+# plots
+# ----------------------------------------------------------------------
+def test_render_chart_basic_structure():
+    text = render_chart(
+        "title", [1, 2, 3],
+        {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]},
+        width=30, height=8,
+    )
+    lines = text.splitlines()
+    assert lines[0] == "title"
+    assert "* a" in lines[-1] and "+ b" in lines[-1]
+    assert any("3.0" in line for line in lines)  # y-axis max label
+    assert "*" in text and "+" in text
+
+
+def test_render_chart_handles_nan():
+    text = render_chart(
+        "t", [1, 2], {"a": [float("nan"), 5.0]}, width=20, height=6
+    )
+    assert "5.0" in text
+
+
+def test_render_chart_single_point():
+    text = render_chart("t", [7], {"a": [2.5]}, width=20, height=6)
+    assert "7" in text
+
+
+def test_render_chart_rejects_empty():
+    with pytest.raises(ValueError):
+        render_chart("t", [], {})
+    with pytest.raises(ValueError):
+        render_chart("t", [1], {"a": [float("nan")]})
+
+
+def test_chart_monotone_series_monotone_pixels():
+    text = render_chart(
+        "t", [1, 2, 3, 4], {"a": [1.0, 2.0, 3.0, 4.0]},
+        width=40, height=10,
+    )
+    grid = text.splitlines()[1:11]
+    cols = [
+        (row_idx, line.index("*"))
+        for row_idx, line in enumerate(grid)
+        if "*" in line
+    ]
+    # Higher values appear on higher rows (smaller row index).
+    assert sorted(cols) == cols[:]
+    xs = [c for _, c in cols]
+    assert xs == sorted(xs, reverse=True)
+
+
+# ----------------------------------------------------------------------
+# side-file spilling
+# ----------------------------------------------------------------------
+def make_tree():
+    disk = SimulatedDisk(page_size=512)
+    pool = BufferPool(disk, capacity_pages=64)
+    return BLinkTree(pool, max_leaf_entries=8), disk
+
+
+def test_sidefile_spills_past_threshold():
+    tree, disk = make_tree()
+    side = SideFile("x", disk=disk, spill_threshold=10)
+    for i in range(35):
+        side.append(SideFileOp.INSERT, i, i)
+    assert side.pending == 35
+    assert disk.num_pages > 0  # chunks actually hit the disk
+    applied = side.apply_batch(tree)
+    assert applied == 35
+    assert side.pending == 0
+    assert tree.entry_count == 35
+    assert sorted(k for k, _ in tree.items()) == list(range(35))
+
+
+def test_sidefile_spill_preserves_fifo_semantics():
+    tree, disk = make_tree()
+    side = SideFile("x", disk=disk, spill_threshold=4)
+    # insert then delete the same entry across a chunk boundary
+    for i in range(6):
+        side.append(SideFileOp.INSERT, 100, 1000 + i)
+    for i in range(6):
+        side.append(SideFileOp.DELETE, 100, 1000 + i)
+    side.apply_batch(tree)
+    assert tree.search(100) == []
+
+
+def test_sidefile_partial_batch_respects_limit():
+    tree, disk = make_tree()
+    side = SideFile("x", disk=disk, spill_threshold=5)
+    for i in range(20):
+        side.append(SideFileOp.INSERT, i, i)
+    applied = side.apply_batch(tree, limit=7)
+    assert applied == 7
+    assert side.pending == 13
+    side.apply_batch(tree)
+    assert tree.entry_count == 20
+
+
+def test_sidefile_drain_with_spill():
+    tree, disk = make_tree()
+    side = SideFile("x", disk=disk, spill_threshold=8)
+    for i in range(50):
+        side.append(SideFileOp.INSERT, i, i)
+    applied, batches = side.drain(tree, quiesce_threshold=4, batch=16)
+    assert applied == 50
+    assert side.quiesced
+    assert tree.entry_count == 50
+
+
+def test_sidefile_reset_frees_chunks():
+    tree, disk = make_tree()
+    side = SideFile("x", disk=disk, spill_threshold=4)
+    for i in range(20):
+        side.append(SideFileOp.INSERT, i, i)
+    pages_with_chunks = disk.num_pages
+    side.reset()
+    assert disk.num_pages < pages_with_chunks
+    assert side.pending == 0
+    side.append(SideFileOp.INSERT, 1, 1)  # usable again
+
+
+def test_sidefile_without_disk_never_spills():
+    tree, disk = make_tree()
+    side = SideFile("x")  # no disk
+    for i in range(10_000):
+        side.append(SideFileOp.INSERT, i, i)
+    assert side.pending == 10_000
+
+
+# ----------------------------------------------------------------------
+# example smoke tests
+# ----------------------------------------------------------------------
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parent.parent.joinpath(
+        "examples"
+    ).glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    """Every example must run to completion (they self-assert)."""
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must narrate what they do"

@@ -1,0 +1,226 @@
+"""Unit tests for the query substrate: spill, sort, hash, partition."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.query.hashtable import (
+    BoundedHashMap,
+    BoundedHashSet,
+    HashTableOverflowError,
+)
+from repro.query.partition import choose_boundaries, range_partition
+from repro.query.sort import ExternalSorter, sort_tuples
+from repro.query.spill import SpillFile
+from repro.storage.disk import SimulatedDisk
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk(page_size=512)
+
+
+# ----------------------------------------------------------------------
+# spill files
+# ----------------------------------------------------------------------
+def test_spill_roundtrip(disk):
+    spill = SpillFile(disk, width=2)
+    items = [(i, i * i) for i in range(100)]
+    spill.extend(items)
+    assert list(spill) == items
+    assert spill.tuple_count == 100
+
+
+def test_spill_multiple_pages(disk):
+    spill = SpillFile(disk, width=1)
+    spill.extend([(i,) for i in range(500)])
+    spill.seal()
+    assert spill.page_count > 1
+    assert list(spill) == [(i,) for i in range(500)]
+
+
+def test_spill_rejects_wrong_arity(disk):
+    spill = SpillFile(disk, width=2)
+    with pytest.raises(StorageError):
+        spill.append((1,))
+
+
+def test_spill_rejects_append_after_seal(disk):
+    spill = SpillFile(disk, width=1)
+    spill.append((1,))
+    spill.seal()
+    with pytest.raises(StorageError):
+        spill.append((2,))
+
+
+def test_spill_from_pages_reopens(disk):
+    spill = SpillFile(disk, width=2)
+    spill.extend([(1, 2), (3, 4)])
+    spill.seal()
+    reopened = SpillFile.from_pages(disk, 2, spill.page_ids, 2)
+    assert list(reopened) == [(1, 2), (3, 4)]
+
+
+def test_spill_free_releases_pages(disk):
+    spill = SpillFile(disk, width=1)
+    spill.extend([(i,) for i in range(200)])
+    spill.seal()
+    pages = list(spill.page_ids)
+    spill.free()
+    for pid in pages:
+        assert not disk.page_exists(pid)
+
+
+def test_spill_writes_are_sequential(disk):
+    spill = SpillFile(disk, width=1)
+    spill.extend([(i,) for i in range(500)])
+    spill.seal()
+    assert disk.stats.random_writes <= 1
+
+
+# ----------------------------------------------------------------------
+# external sort
+# ----------------------------------------------------------------------
+def test_sort_in_memory(disk):
+    sorter = ExternalSorter(disk, memory_bytes=1 << 20, width=1)
+    out = list(sorter.sort([(5,), (1,), (3,)]))
+    assert out == [(1,), (3,), (5,)]
+    assert not sorter.stats.spilled
+    assert disk.stats.reads == 0  # pure CPU
+
+
+def test_sort_spills_when_over_budget(disk):
+    sorter = ExternalSorter(disk, memory_bytes=1024, width=1)
+    items = [(i,) for i in range(2000, 0, -1)]
+    out = list(sorter.sort(items))
+    assert out == sorted(items)
+    assert sorter.stats.spilled
+    assert sorter.stats.runs > 1
+    assert disk.stats.reads > 0
+
+
+def test_sort_with_key_function(disk):
+    sorter = ExternalSorter(disk, memory_bytes=1 << 20, width=2,
+                            key=lambda t: t[1])
+    out = list(sorter.sort([(1, 9), (2, 3), (3, 6)]))
+    assert out == [(2, 3), (3, 6), (1, 9)]
+
+
+def test_sort_spilled_with_duplicates(disk):
+    sorter = ExternalSorter(disk, memory_bytes=1024, width=1)
+    items = [(i % 7,) for i in range(1500)]
+    out = list(sorter.sort(items))
+    assert out == sorted(items)
+
+
+def test_sort_empty(disk):
+    assert sort_tuples(disk, [], 1 << 20, width=1) == []
+
+
+def test_sort_budget_validation(disk):
+    with pytest.raises(ValueError):
+        ExternalSorter(disk, memory_bytes=10, width=1)
+
+
+def test_sort_run_pages_freed_after_merge(disk):
+    sorter = ExternalSorter(disk, memory_bytes=1024, width=1)
+    list(sorter.sort([(i,) for i in range(2000)]))
+    assert disk.num_pages == 0  # all runs released
+
+
+# ----------------------------------------------------------------------
+# bounded hash structures
+# ----------------------------------------------------------------------
+def test_hash_set_basics():
+    s = BoundedHashSet(1 << 20)
+    s.build(range(100))
+    assert 50 in s
+    assert 1000 not in s
+    assert len(s) == 100
+    s.discard(50)
+    assert 50 not in s
+
+
+def test_hash_set_overflow():
+    s = BoundedHashSet(16 * 10)  # room for 10 entries
+    with pytest.raises(HashTableOverflowError):
+        s.build(range(100))
+
+
+def test_hash_set_duplicate_add_is_free():
+    s = BoundedHashSet(16)  # capacity 1
+    s.add(5)
+    s.add(5)  # no growth, no overflow
+    assert len(s) == 1
+
+
+def test_hash_map_basics():
+    m = BoundedHashMap(1 << 20)
+    m.add(1, (10,))
+    m.add(1, (11,))
+    m.add(2, (20,))
+    assert m.get(1) == [(10,), (11,)]
+    assert m.pop_all(1) == [(10,), (11,)]
+    assert 1 not in m
+    assert len(m) == 1
+
+
+def test_hash_map_overflow():
+    m = BoundedHashMap(24 * 5)
+    for i in range(5):
+        m.add(i, (i,))
+    with pytest.raises(HashTableOverflowError):
+        m.add(99, (99,))
+
+
+# ----------------------------------------------------------------------
+# range partitioning
+# ----------------------------------------------------------------------
+def test_choose_boundaries_splits_evenly():
+    bounds = choose_boundaries(list(range(100)), 4)
+    assert len(bounds) == 3
+    assert bounds == sorted(bounds)
+
+
+def test_choose_boundaries_degenerate():
+    assert choose_boundaries([], 4) == []
+    assert choose_boundaries([1, 2, 3], 1) == []
+
+
+def test_range_partition_covers_everything(disk):
+    items = [(k, k * 7) for k in range(200)]
+    parts = range_partition(disk, items, key_index=0, width=2,
+                            max_tuples_per_partition=50)
+    assert len(parts) >= 4
+    collected = []
+    for part in parts:
+        rows = list(part)
+        assert len(rows) <= 80  # near the target size
+        for key, payload in rows:
+            assert part.lo <= key <= part.hi
+        collected.extend(rows)
+    assert sorted(collected) == items
+
+
+def test_range_partition_ranges_disjoint(disk):
+    items = [(k, 0) for k in range(100)]
+    parts = range_partition(disk, items, 0, 2, 30)
+    for a, b in zip(parts, parts[1:]):
+        assert a.hi <= b.lo or a.hi < b.lo + 1
+
+
+def test_range_partition_empty(disk):
+    assert range_partition(disk, [], 0, 2, 10) == []
+
+
+def test_range_partition_single_fits(disk):
+    items = [(k, 0) for k in range(10)]
+    parts = range_partition(disk, items, 0, 2, 100)
+    assert len(parts) == 1
+    assert list(parts[0]) == items
+
+
+def test_range_partition_heavy_duplicates(disk):
+    items = [(5, i) for i in range(100)]
+    parts = range_partition(disk, items, 0, 2, 10)
+    # All duplicates share one key: they cannot be split by range.
+    assert sum(p.tuple_count for p in parts) == 100

@@ -1,0 +1,256 @@
+"""Crash/restart tests: the bulk delete must finish *forward* (§3.2).
+
+Each test runs a recoverable bulk delete with a crash injected at a
+different point (losing all unflushed buffer-pool contents), then runs
+restart and checks that the final database state is identical to an
+uninterrupted execution.
+"""
+
+import pytest
+
+from repro import Database
+from repro.btree.maintenance import validate_tree
+from repro.recovery.restart import (
+    RecoverableBulkDelete,
+    SimulatedCrash,
+    recover,
+)
+from repro.recovery.wal import WriteAheadLog
+from repro.txn.sidefile import SideFile, SideFileOp
+from tests.conftest import populate
+
+
+def build(n=300):
+    db = Database(page_size=512, memory_bytes=16 * 512)
+    values = populate(db, n=n)
+    db.flush()
+    return db, values
+
+
+def final_state(db):
+    rows = sorted(v for _, v in db.scan("R"))
+    indexes = {
+        name: sorted(ix.tree.items())
+        for name, ix in db.table("R").indexes.items()
+    }
+    return rows, indexes
+
+
+def reference_run(keys, n=300):
+    db, values = build(n)
+    log = WriteAheadLog(db.disk)
+    deleted = RecoverableBulkDelete(db, "R", "A", keys, log).run()
+    return final_state(db), deleted
+
+
+def crash_and_recover(keys, n=300, crash_point=None, crash_mid=None):
+    db, values = build(n)
+    log = WriteAheadLog(db.disk)
+    runner = RecoverableBulkDelete(
+        db, "R", "A", keys, log,
+        crash_point=crash_point, crash_mid_structure=crash_mid,
+    )
+    with pytest.raises(SimulatedCrash):
+        runner.run()
+    report = recover(db, log)
+    return db, log, report
+
+
+@pytest.fixture(scope="module")
+def keys():
+    db, values = build()
+    import random
+
+    return random.Random(77).sample(values["A"], 90)
+
+
+def check_equivalent(db, keys):
+    expected, _ = reference_run(keys)
+    assert final_state(db) == expected
+    for ix in db.table("R").indexes.values():
+        validate_tree(ix.tree)
+
+
+def test_completes_without_crash(keys):
+    db, values = build()
+    log = WriteAheadLog(db.disk)
+    deleted = RecoverableBulkDelete(db, "R", "A", keys, log).run()
+    assert deleted == 90
+    assert log.find_open_bulk_delete() is None
+    check_equivalent(db, keys)
+
+
+def test_crash_after_begin(keys):
+    db, log, report = crash_and_recover(keys, crash_point="after_begin")
+    assert report.resumed
+    assert log.find_open_bulk_delete() is None
+    check_equivalent(db, keys)
+
+
+def test_crash_after_driving(keys):
+    db, log, report = crash_and_recover(keys, crash_point="after_driving")
+    assert "I_R_A" in report.skipped_structures
+    assert "__table__" in report.redone_structures
+    check_equivalent(db, keys)
+
+
+def test_crash_after_table(keys):
+    db, log, report = crash_and_recover(keys, crash_point="after_table")
+    assert "__table__" in report.skipped_structures
+    assert "I_R_B" in report.redone_structures
+    check_equivalent(db, keys)
+
+
+def test_crash_after_last_index(keys):
+    db, log, report = crash_and_recover(
+        keys, crash_point="after_index:I_R_B"
+    )
+    assert report.skipped_structures == ["I_R_A", "__table__", "I_R_B"]
+    assert report.redone_structures == []
+    check_equivalent(db, keys)
+
+
+def test_crash_before_end(keys):
+    db, log, report = crash_and_recover(keys, crash_point="before_end")
+    check_equivalent(db, keys)
+
+
+def test_crash_mid_driving_sweep(keys):
+    db, log, report = crash_and_recover(keys, crash_mid=("I_R_A", 2))
+    assert "I_R_A" in report.redone_structures
+    check_equivalent(db, keys)
+
+
+def test_crash_mid_table_sweep(keys):
+    db, log, report = crash_and_recover(keys, crash_mid=("__table__", 3))
+    assert "__table__" in report.redone_structures
+    check_equivalent(db, keys)
+
+
+def test_crash_mid_secondary_index_sweep(keys):
+    db, log, report = crash_and_recover(keys, crash_mid=("I_R_B", 2))
+    assert "I_R_B" in report.redone_structures
+    check_equivalent(db, keys)
+
+
+def test_crash_mid_structure_with_partial_flush(keys):
+    """Evict half the modifications to disk before the crash: the log
+    must still reconstruct the complete delete set."""
+    db, values = build()
+    log = WriteAheadLog(db.disk)
+
+    original = db.pool.capacity_pages
+    db.pool.capacity_pages = 4  # brutal eviction pressure
+    runner = RecoverableBulkDelete(
+        db, "R", "A", keys, log, crash_mid_structure=("__table__", 4)
+    )
+    with pytest.raises(SimulatedCrash):
+        runner.run()
+    db.pool.capacity_pages = original
+    recover(db, log)
+    check_equivalent(db, keys)
+
+
+def test_recovery_is_idempotent_after_second_crash(keys):
+    """Crash during the first recovery, recover again."""
+    db, values = build()
+    log = WriteAheadLog(db.disk)
+    runner = RecoverableBulkDelete(
+        db, "R", "A", keys, log, crash_point="after_driving"
+    )
+    with pytest.raises(SimulatedCrash):
+        runner.run()
+    # First recovery completes; a second recover() finds nothing open.
+    recover(db, log)
+    second = recover(db, log)
+    assert not second.resumed
+    check_equivalent(db, keys)
+
+
+def test_recovery_reports_deleted_count(keys):
+    db, log, report = crash_and_recover(keys, crash_point="after_driving")
+    assert report.records_deleted == 90
+
+
+def test_side_files_applied_after_recovery(keys):
+    db, log, report_unused = crash_and_recover(
+        keys, crash_point="after_table"
+    )
+    # Build a second scenario where a side-file is pending at restart.
+    db2, values2 = build()
+    log2 = WriteAheadLog(db2.disk)
+    runner = RecoverableBulkDelete(
+        db2, "R", "A", keys, log2, crash_point="after_table"
+    )
+    with pytest.raises(SimulatedCrash):
+        runner.run()
+    side = SideFile("I_R_B")
+    side.append(SideFileOp.INSERT, 123456789, 42)
+    report = recover(db2, log2, side_files={"I_R_B": side})
+    assert report.side_files_applied == {"I_R_B": 1}
+    assert db2.table("R").index("I_R_B").tree.contains(123456789, 42)
+    assert db2.table("R").index("I_R_B").is_online
+
+
+def test_log_records_are_durable_and_ordered():
+    db, values = build(n=50)
+    log = WriteAheadLog(db.disk)
+    keys = values["A"][:10]
+    RecoverableBulkDelete(db, "R", "A", keys, log).run()
+    kinds = [r.kind for r in log.records()]
+    assert kinds[0] == "bulk_begin"
+    assert kinds[-1] == "bulk_end"
+    assert "checkpoint" in kinds
+    assert "structure_done" in kinds
+    lsns = [r.lsn for r in log.records()]
+    assert lsns == sorted(lsns)
+
+
+def test_side_files_rebuilt_from_wal(keys):
+    """§3.2's hard case: the coordinator's side-file capture survives a
+    crash *only* through its WAL records; restart reconstructs and
+    applies them after finishing the bulk delete forward."""
+    from repro.txn.sidefile import SideFile, SideFileOp
+
+    db, values = build()
+    log = WriteAheadLog(db.disk)
+    # Simulate a concurrent updater whose index change was captured in
+    # a WAL-logged side-file before the crash.
+    runner = RecoverableBulkDelete(
+        db, "R", "A", keys, log, crash_point="after_table"
+    )
+    with pytest.raises(SimulatedCrash):
+        runner.run()
+    live = SideFile("I_R_B", log=log)
+    live.append(SideFileOp.INSERT, 424242, 99)
+    del live  # the live object dies with the crash; only the WAL remains
+
+    report = recover(db, log)  # no side_files argument!
+    assert report.side_files_applied == {"I_R_B": 1}
+    tree = db.table("R").index("I_R_B").tree
+    assert tree.contains(424242, 99)
+    # Replay is recorded, so a second recovery would not re-apply.
+    assert any(r.kind == "side_file_applied" for r in log.records())
+
+
+def test_coordinator_side_file_appends_reach_the_wal():
+    from repro.txn.coordinator import BulkDeleteCoordinator, UpdateRouter
+
+    db, values = build()
+    log = WriteAheadLog(db.disk)
+    import random as _r
+
+    keys = _r.Random(3).sample(values["A"], 40)
+    coord = BulkDeleteCoordinator(db, "R", "A", keys, log=log)
+    coord.begin()
+    coord.process_critical_phase()
+    coord.commit_critical()
+    router = UpdateRouter(db, coord)
+    txn = coord.tm.begin()
+    router.insert(txn, "R", (31337001, 31337002, "w"))
+    coord.tm.commit(txn)
+    ops = [r for r in log.records("side_file_op")]
+    assert len(ops) == 1
+    assert ops[0].payload["index"] == "I_R_B"
+    for name in coord.pending_indexes():
+        coord.process_index(name)

@@ -1,0 +1,130 @@
+"""Unit tests for RIDs, record serialization, and schemas."""
+
+import pytest
+
+from repro.catalog.schema import Attribute, DataType, TableSchema
+from repro.errors import CatalogError, SchemaError
+from repro.storage.rid import RID
+from repro.storage.serializer import RecordSerializer
+
+
+# ----------------------------------------------------------------------
+# RID
+# ----------------------------------------------------------------------
+def test_rid_pack_roundtrip():
+    rid = RID(123456, 17)
+    assert RID.unpack(rid.pack()) == rid
+
+
+def test_rid_orders_by_page_then_slot():
+    assert RID(1, 5) < RID(2, 0)
+    assert RID(2, 0) < RID(2, 1)
+    # Packed order must agree with tuple order (sorting packed RIDs is
+    # how the heap sweep becomes sequential).
+    rids = [RID(3, 1), RID(1, 9), RID(2, 0), RID(1, 2)]
+    assert sorted(r.pack() for r in rids) == [
+        r.pack() for r in sorted(rids)
+    ]
+
+
+def test_rid_pack_range_checks():
+    with pytest.raises(ValueError):
+        RID(1, 1 << 16).pack()
+    with pytest.raises(ValueError):
+        RID(1 << 47, 0).pack()
+    with pytest.raises(ValueError):
+        RID(-1, 0).pack()
+
+
+# ----------------------------------------------------------------------
+# schema
+# ----------------------------------------------------------------------
+def test_schema_lookups():
+    schema = TableSchema.of(
+        "t", [Attribute.int_("a"), Attribute.char("b", 4)]
+    )
+    assert schema.column_index("b") == 1
+    assert schema.attribute("a").data_type is DataType.INT
+    assert schema.has_column("a")
+    assert not schema.has_column("z")
+    assert schema.column_names == ["a", "b"]
+    with pytest.raises(CatalogError):
+        schema.column_index("missing")
+
+
+def test_schema_rejects_duplicates_and_empties():
+    with pytest.raises(SchemaError):
+        TableSchema.of("t", [Attribute.int_("a"), Attribute.int_("a")])
+    with pytest.raises(SchemaError):
+        TableSchema.of("t", [])
+    with pytest.raises(SchemaError):
+        TableSchema.of("", [Attribute.int_("a")])
+
+
+def test_attribute_validation():
+    with pytest.raises(SchemaError):
+        Attribute("", DataType.INT)
+    with pytest.raises(SchemaError):
+        Attribute.char("c", 0)
+    with pytest.raises(SchemaError):
+        Attribute("x", DataType.INT, length=4)
+
+
+# ----------------------------------------------------------------------
+# serializer
+# ----------------------------------------------------------------------
+@pytest.fixture
+def serializer():
+    schema = TableSchema.of(
+        "t", [Attribute.int_("a"), Attribute.char("s", 8), Attribute.int_("b")]
+    )
+    return RecordSerializer(schema)
+
+
+def test_serializer_roundtrip(serializer):
+    values = (42, "hello", -7)
+    assert serializer.unpack(serializer.pack(values)) == values
+
+
+def test_serializer_fixed_size(serializer):
+    assert serializer.record_size == 8 + 8 + 8
+    assert len(serializer.pack((1, "", 2))) == serializer.record_size
+
+
+def test_serializer_pads_strings(serializer):
+    packed = serializer.pack((0, "ab", 0))
+    assert serializer.unpack(packed)[1] == "ab"
+
+
+def test_serializer_negative_and_large_ints(serializer):
+    values = (-(2**62), "x", 2**62)
+    assert serializer.unpack(serializer.pack(values)) == values
+
+
+def test_serializer_rejects_bad_arity(serializer):
+    with pytest.raises(SchemaError):
+        serializer.pack((1, "x"))
+
+
+def test_serializer_rejects_wrong_types(serializer):
+    with pytest.raises(SchemaError):
+        serializer.pack(("not-int", "x", 2))
+    with pytest.raises(SchemaError):
+        serializer.pack((1, 99, 2))
+    with pytest.raises(SchemaError):
+        serializer.pack((True, "x", 2))  # bools are not ints here
+
+
+def test_serializer_rejects_oversized_string(serializer):
+    with pytest.raises(SchemaError):
+        serializer.pack((1, "toolongstring", 2))
+
+
+def test_serializer_rejects_bad_payload_size(serializer):
+    with pytest.raises(SchemaError):
+        serializer.unpack(b"\x00" * 3)
+
+
+def test_serializer_accepts_bytes_for_char(serializer):
+    packed = serializer.pack((1, b"raw", 2))
+    assert serializer.unpack(packed)[1] == "raw"

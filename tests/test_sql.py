@@ -1,0 +1,267 @@
+"""Tests for the SQL front-end: lexer, parser, interpreter."""
+
+import pytest
+
+from repro import Database
+from repro.errors import CatalogError, SqlBindError, SqlSyntaxError
+from repro.sql import ast
+from repro.sql.interpreter import SqlSession
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse, parse_script
+
+
+# ----------------------------------------------------------------------
+# lexer
+# ----------------------------------------------------------------------
+def test_tokenize_keywords_case_insensitive():
+    tokens = tokenize("select * from R")
+    assert tokens[0].is_keyword("SELECT")
+    assert tokens[2].is_keyword("FROM")
+
+
+def test_tokenize_numbers_strings_ops():
+    tokens = tokenize("(-5, 'it''s', <=)")
+    kinds = [(t.kind, t.value) for t in tokens[:-1]]
+    # Minus is an operator token (unary minus is handled by the parser,
+    # so that "salary - 5" does not lex as "salary", "-5").
+    assert ("op", "-") in kinds
+    assert ("number", "5") in kinds
+    assert ("string", "it's") in kinds
+    assert ("op", "<=") in kinds
+
+
+def test_parse_negative_literals():
+    stmt = parse("INSERT INTO t VALUES (-7, 'x')")
+    assert stmt.rows == ((-7, "x"),)
+
+
+def test_parse_update_statements():
+    stmt = parse("UPDATE emp SET salary = salary + 50 WHERE dept = 3")
+    assert stmt.set_clause == ast.SetClause("salary", delta=50)
+    stmt = parse("UPDATE emp SET salary = salary - 50")
+    assert stmt.set_clause == ast.SetClause("salary", delta=-50)
+    stmt = parse("UPDATE emp SET salary = 100")
+    assert stmt.set_clause == ast.SetClause("salary", value=100)
+    with pytest.raises(SqlSyntaxError):
+        parse("UPDATE emp SET salary = bonus + 1")
+    with pytest.raises(SqlSyntaxError):
+        parse("UPDATE emp SET salary = salary * 2")
+
+
+def test_tokenize_rejects_garbage():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("select @ from R")
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def test_parse_create_table():
+    stmt = parse("CREATE TABLE R (A INT, K CHAR(40))")
+    assert isinstance(stmt, ast.CreateTable)
+    assert stmt.columns == (
+        ast.ColumnDef("A", "INT"),
+        ast.ColumnDef("K", "CHAR", 40),
+    )
+
+
+def test_parse_create_unique_clustered_index():
+    stmt = parse("CREATE UNIQUE CLUSTERED INDEX ia ON R (A)")
+    assert stmt == ast.CreateIndex("ia", "R", "A", True, True)
+
+
+def test_parse_insert_multi_row():
+    stmt = parse("INSERT INTO R VALUES (1, 'x'), (2, 'y')")
+    assert stmt.rows == ((1, "x"), (2, "y"))
+
+
+def test_parse_select_with_where_and_order():
+    stmt = parse("SELECT A, B FROM R WHERE A >= 10 ORDER BY B")
+    assert stmt.columns == ("A", "B")
+    assert stmt.where == ast.Comparison("A", ">=", 10)
+    assert stmt.order_by == "B"
+
+
+def test_parse_the_papers_delete():
+    stmt = parse("DELETE FROM R WHERE R.A IN (SELECT D.A FROM D)")
+    assert stmt == ast.Delete("R", ast.InSubquery("A", "D", "A"))
+
+
+def test_parse_delete_in_list():
+    stmt = parse("DELETE FROM R WHERE A IN (1, 2, 3)")
+    assert stmt == ast.Delete("R", ast.InList("A", (1, 2, 3)))
+
+
+def test_parse_explain():
+    stmt = parse("EXPLAIN DELETE FROM R WHERE A IN (1)")
+    assert isinstance(stmt, ast.Explain)
+    assert isinstance(stmt.statement, ast.Delete)
+
+
+def test_parse_script_multiple_statements():
+    stmts = parse_script(
+        "CREATE TABLE t (a INT); INSERT INTO t VALUES (1);"
+    )
+    assert len(stmts) == 2
+
+
+def test_parse_errors_report_position():
+    with pytest.raises(SqlSyntaxError):
+        parse("DELETE R")
+    with pytest.raises(SqlSyntaxError):
+        parse("SELECT FROM R")
+    with pytest.raises(SqlSyntaxError):
+        parse("CREATE TABLE t (a FLOAT)")
+    with pytest.raises(SqlSyntaxError):
+        parse("SELECT * FROM R; SELECT * FROM R", )
+
+
+# ----------------------------------------------------------------------
+# interpreter
+# ----------------------------------------------------------------------
+@pytest.fixture
+def session():
+    db = Database(page_size=512, memory_bytes=64 * 1024)
+    sql = SqlSession(db)
+    sql.execute("CREATE TABLE R (A INT, B INT, K CHAR(16))")
+    sql.execute("CREATE TABLE D (A INT)")
+    rows = ", ".join(f"({i}, {1000 - i}, 'r{i}')" for i in range(50))
+    sql.execute(f"INSERT INTO R VALUES {rows}")
+    sql.execute("CREATE UNIQUE INDEX ia ON R (A)")
+    sql.execute("CREATE INDEX ib ON R (B)")
+    return sql
+
+
+def test_select_star(session):
+    result = session.execute("SELECT * FROM R")
+    assert result.kind == "select"
+    assert len(result.rows) == 50
+
+
+def test_select_projection_and_filter(session):
+    result = session.execute("SELECT A FROM R WHERE A < 5 ORDER BY A")
+    assert result.rows == [(0,), (1,), (2,), (3,), (4,)]
+
+
+def test_select_filter_operators(session):
+    assert len(session.execute("SELECT A FROM R WHERE A <> 0").rows) == 49
+    assert len(session.execute("SELECT A FROM R WHERE A >= 48").rows) == 2
+    assert len(session.execute("SELECT A FROM R WHERE A IN (1,2)").rows) == 2
+
+
+def test_delete_with_in_list(session):
+    result = session.execute("DELETE FROM R WHERE A IN (1, 2, 3, 999)")
+    assert result.kind == "delete"
+    assert result.affected == 3
+    assert len(session.execute("SELECT * FROM R").rows) == 47
+
+
+def test_the_papers_statement_runs_bulk(session):
+    values = ", ".join(f"({i})" for i in range(0, 50, 2))
+    session.execute(f"INSERT INTO D VALUES {values}")
+    session.force_vertical = True
+    result = session.execute(
+        "DELETE FROM R WHERE R.A IN (SELECT D.A FROM D)"
+    )
+    assert result.affected == 25
+    assert result.detail is not None
+    assert result.detail.plan.driving_index == "ia"
+    survivors = session.execute("SELECT A FROM R").rows
+    assert all(a % 2 == 1 for (a,) in survivors)
+
+
+def test_delete_with_comparison_predicate(session):
+    result = session.execute("DELETE FROM R WHERE B > 990")
+    assert result.affected == 10  # B in 991..1000 for A in 0..9
+
+
+def test_unconditional_delete(session):
+    result = session.execute("DELETE FROM R")
+    assert result.affected == 50
+    assert session.execute("SELECT * FROM R").rows == []
+
+
+def test_explain_shows_plan(session):
+    values = ", ".join(f"({i})" for i in range(30))
+    session.execute(f"INSERT INTO D VALUES {values}")
+    session.force_vertical = True
+    result = session.execute(
+        "EXPLAIN DELETE FROM R WHERE A IN (SELECT A FROM D)"
+    )
+    assert result.kind == "explain"
+    assert "BULK DELETE FROM R" in result.text
+    assert "ia" in result.text
+    # EXPLAIN must not execute.
+    assert len(session.execute("SELECT * FROM R").rows) == 50
+
+
+def test_drop_statements(session):
+    session.execute("DROP INDEX ib ON R")
+    with pytest.raises(CatalogError):
+        session.db.table("R").index("ib")
+    session.execute("DROP TABLE D")
+    with pytest.raises(CatalogError):
+        session.db.table("D")
+
+
+def test_bind_errors(session):
+    with pytest.raises(CatalogError):
+        session.execute("SELECT * FROM missing")
+    with pytest.raises(CatalogError):
+        session.execute("SELECT missing FROM R")
+    with pytest.raises(SqlBindError):
+        session.execute("EXPLAIN SELECT * FROM R")
+
+
+def test_execute_script(session):
+    results = session.execute_script(
+        "DELETE FROM R WHERE A IN (0); SELECT A FROM R WHERE A < 2"
+    )
+    assert results[0].affected == 1
+    assert results[1].rows == [(1,)]
+
+
+def test_update_statement_delta(session):
+    result = session.execute("UPDATE R SET B = B + 10000 WHERE A < 10")
+    assert result.kind == "update"
+    assert result.affected == 10
+    big = session.execute("SELECT B FROM R WHERE B > 10000").rows
+    assert len(big) == 10
+    # The index on B reflects the new values.
+    tree = session.db.table("R").index("ib").tree
+    for (b,) in big:
+        assert tree.contains(b)
+
+
+def test_update_statement_absolute(session):
+    result = session.execute("UPDATE R SET B = 77 WHERE A IN (1, 2)")
+    assert result.affected == 2
+    rows = session.execute("SELECT A FROM R WHERE B = 77").rows
+    assert sorted(rows) == [(1,), (2,)]
+
+
+def test_update_statement_without_where(session):
+    result = session.execute("UPDATE R SET B = 5")
+    assert result.affected == 50
+    assert {b for (b,) in session.execute("SELECT B FROM R").rows} == {5}
+
+
+def test_count_star(session):
+    assert session.execute("SELECT COUNT(*) FROM R").rows == [(50,)]
+    assert session.execute(
+        "SELECT COUNT(*) FROM R WHERE A < 10"
+    ).rows == [(10,)]
+
+
+def test_and_conjunctions(session):
+    rows = session.execute(
+        "SELECT A FROM R WHERE A >= 10 AND A < 20 AND B > 985 ORDER BY A"
+    ).rows
+    # B = 1000 - A: B > 985 means A < 15.
+    assert rows == [(a,) for a in range(10, 15)]
+
+
+def test_delete_with_and_predicate(session):
+    result = session.execute("DELETE FROM R WHERE A < 5 AND B < 999")
+    # B = 1000 - A: B < 999 means A > 1 -> A in {2, 3, 4}.
+    assert result.affected == 3

@@ -1,0 +1,130 @@
+"""Tests for the horizontal baselines: traditional and drop & create."""
+
+import random
+
+import pytest
+
+from repro import Database
+from repro.btree.maintenance import validate_tree
+from repro.core.drop_create import drop_create_delete
+from repro.core.traditional import traditional_delete
+from repro.errors import PlanningError
+from tests.conftest import populate
+
+
+def fresh(n=300, memory_bytes=32 * 1024, **kw):
+    db = Database(page_size=512, memory_bytes=memory_bytes)
+    values = populate(db, n=n, **kw)
+    db.flush()
+    db.clock.reset()
+    return db, values
+
+
+def fresh_tight(n=600, **kw):
+    """A workload that does NOT fit in the buffer pool (6 frames), so
+    access patterns actually hit the simulated disk."""
+    return fresh(n=n, memory_bytes=6 * 512, **kw)
+
+
+def test_traditional_deletes_correctly():
+    db, values = fresh()
+    keys = values["A"][:90]
+    result = traditional_delete(db, "R", "A", keys)
+    assert result.records_deleted == 90
+    survivors = {v[0] for _, v in db.scan("R")}
+    assert survivors == set(values["A"]) - set(keys)
+    for index in db.table("R").indexes.values():
+        validate_tree(index.tree)
+        assert index.tree.entry_count == 210
+
+
+def test_traditional_requires_index():
+    db = Database(page_size=512, memory_bytes=32 * 1024)
+    populate(db, n=50, indexes=("A",))
+    with pytest.raises(PlanningError):
+        traditional_delete(db, "R", "B", [1, 2, 3])
+
+
+def test_traditional_counts_missing_keys():
+    db, values = fresh()
+    result = traditional_delete(
+        db, "R", "A", values["A"][:10] + [10**9, 10**9 + 1]
+    )
+    assert result.records_deleted == 10
+    assert result.keys_not_found == 2
+
+
+def test_sorted_faster_than_unsorted():
+    """The paper's core baseline distinction, in simulated time."""
+    # One index, as in the paper's Experiment 1: the sorted list turns
+    # the driving index's leaf accesses into a single sequential pass.
+    db_s, values = fresh_tight(indexes=("A",))
+    # A *random* sample in *random* order, like the paper's table D —
+    # a prefix of the load order would be physically sequential.
+    keys = random.Random(11).sample(values["A"], 300)
+    sorted_run = traditional_delete(db_s, "R", "A", keys, presort=True)
+    db_u, _ = fresh_tight(indexes=("A",))
+    unsorted_run = traditional_delete(db_u, "R", "A", keys, presort=False)
+    assert unsorted_run.records_deleted == sorted_run.records_deleted
+    assert unsorted_run.elapsed_ms > sorted_run.elapsed_ms
+
+
+def test_traditional_random_io_grows_with_deletes():
+    db, values = fresh_tight()
+    r_small = traditional_delete(
+        db, "R", "A", random.Random(5).sample(values["A"], 30)
+    )
+    db2, values2 = fresh_tight()
+    r_large = traditional_delete(
+        db2, "R", "A", random.Random(5).sample(values2["A"], 300)
+    )
+    assert r_large.io.random_ios > r_small.io.random_ios * 3
+
+
+def test_drop_create_correct_state():
+    db, values = fresh()
+    keys = values["A"][:100]
+    result = drop_create_delete(db, "R", "A", keys)
+    assert result.records_deleted == 100
+    assert result.indexes_recreated == ["I_R_B"]
+    table = db.table("R")
+    b_tree = table.index("I_R_B").tree
+    validate_tree(b_tree)
+    assert b_tree.entry_count == 200
+    survivors_b = {v[1] for _, v in db.scan("R")}
+    assert {k for k, _ in b_tree.items()} == survivors_b
+
+
+def test_drop_create_timing_split():
+    db, values = fresh()
+    result = drop_create_delete(db, "R", "A", values["A"][:100])
+    assert result.delete_ms > 0
+    assert result.recreate_ms > 0
+    assert result.elapsed_ms >= result.delete_ms + result.recreate_ms - 1e-6
+
+
+def test_drop_create_bulk_build_faster_than_insert_build():
+    db_a, values = fresh_tight()
+    keys = values["A"][:100]
+    insert_run = drop_create_delete(db_a, "R", "A", keys,
+                                    create_method="insert")
+    db_b, _ = fresh_tight()
+    bulk_run = drop_create_delete(db_b, "R", "A", keys,
+                                  create_method="bulk")
+    assert bulk_run.recreate_ms < insert_run.recreate_ms
+
+
+def test_drop_create_requires_driving_index():
+    db = Database(page_size=512, memory_bytes=32 * 1024)
+    populate(db, n=50, indexes=("A",))
+    with pytest.raises(PlanningError):
+        drop_create_delete(db, "R", "B", [1])
+
+
+def test_drop_create_preserves_unique_flag():
+    db, values = fresh()
+    db.create_index("R", "B", name="uniq_b2", unique=False)
+    drop_create_delete(db, "R", "A", values["A"][:50])
+    table = db.table("R")
+    assert "uniq_b2" in table.indexes
+    assert table.index("I_R_A").unique  # untouched driving index

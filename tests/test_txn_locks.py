@@ -1,0 +1,152 @@
+"""Tests for the lock manager and transaction manager."""
+
+import pytest
+
+from repro.errors import LockConflictError, TransactionError
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.transactions import TransactionManager, TxnState
+
+
+def test_shared_locks_compatible():
+    lm = LockManager()
+    lm.lock_table(1, "R", LockMode.S)
+    lm.lock_table(2, "R", LockMode.S)  # no conflict
+
+
+def test_exclusive_conflicts_with_everything():
+    lm = LockManager()
+    lm.lock_table(1, "R", LockMode.X)
+    for mode in LockMode:
+        with pytest.raises(LockConflictError):
+            lm.lock_table(2, "R", mode)
+
+
+def test_intention_locks_compatible_with_each_other():
+    lm = LockManager()
+    lm.lock_table(1, "R", LockMode.IX)
+    lm.lock_table(2, "R", LockMode.IX)
+    lm.lock_table(3, "R", LockMode.IS)
+
+
+def test_shared_blocks_intent_exclusive():
+    lm = LockManager()
+    lm.lock_table(1, "R", LockMode.S)
+    with pytest.raises(LockConflictError):
+        lm.lock_table(2, "R", LockMode.IX)
+
+
+def test_reacquire_upgrades_in_place():
+    lm = LockManager()
+    lm.lock_table(1, "R", LockMode.IS)
+    lm.lock_table(1, "R", LockMode.X)
+    assert lm.table_mode_of(1, "R") is LockMode.X
+
+
+def test_row_locks_conflict_per_row():
+    lm = LockManager()
+    lm.lock_row(1, "R", "k1", LockMode.X)
+    lm.lock_row(2, "R", "k2", LockMode.X)  # different row: fine
+    with pytest.raises(LockConflictError):
+        lm.lock_row(2, "R", "k1", LockMode.S)
+
+
+def test_row_lock_takes_intention_lock():
+    lm = LockManager()
+    lm.lock_row(1, "R", "k", LockMode.X)
+    assert lm.table_mode_of(1, "R") is LockMode.IX
+
+
+def test_row_lock_blocked_by_table_x():
+    lm = LockManager()
+    lm.lock_table(1, "R", LockMode.X)
+    with pytest.raises(LockConflictError):
+        lm.lock_row(2, "R", "k", LockMode.X)
+
+
+def test_escalation_to_table_lock():
+    lm = LockManager(escalation_threshold=5)
+    for i in range(6):
+        lm.lock_row(1, "R", f"k{i}", LockMode.X)
+    assert lm.table_mode_of(1, "R") is LockMode.X
+    assert lm.row_lock_count(1, "R") == 0
+    # Another transaction now conflicts at table granularity.
+    with pytest.raises(LockConflictError):
+        lm.lock_row(2, "R", "other", LockMode.X)
+
+
+def test_release_all_clears_everything():
+    lm = LockManager()
+    lm.lock_table(1, "R", LockMode.X)
+    lm.lock_row(1, "S", "k", LockMode.X)
+    lm.release_all(1)
+    lm.lock_table(2, "R", LockMode.X)
+    lm.lock_row(2, "S", "k", LockMode.X)
+
+
+def test_release_single_table():
+    lm = LockManager()
+    lm.lock_table(1, "R", LockMode.X)
+    lm.release_table(1, "R")
+    lm.lock_table(2, "R", LockMode.X)
+
+
+def test_holders_introspection():
+    lm = LockManager()
+    lm.lock_table(1, "R", LockMode.S)
+    lm.lock_table(2, "R", LockMode.IS)
+    assert set(lm.holders("R")) == {(1, LockMode.S), (2, LockMode.IS)}
+
+
+def test_row_lock_mode_validation():
+    lm = LockManager()
+    with pytest.raises(TransactionError):
+        lm.lock_row(1, "R", "k", LockMode.IX)
+
+
+# ----------------------------------------------------------------------
+# transactions
+# ----------------------------------------------------------------------
+def test_commit_releases_locks():
+    tm = TransactionManager()
+    txn = tm.begin()
+    tm.locks.lock_table(txn.txn_id, "R", LockMode.X)
+    tm.commit(txn)
+    assert txn.state is TxnState.COMMITTED
+    other = tm.begin()
+    tm.locks.lock_table(other.txn_id, "R", LockMode.X)
+
+
+def test_abort_runs_undo_in_reverse():
+    tm = TransactionManager()
+    txn = tm.begin()
+    log = []
+    txn.on_abort(lambda: log.append("first"))
+    txn.on_abort(lambda: log.append("second"))
+    tm.abort(txn)
+    assert log == ["second", "first"]
+    assert txn.state is TxnState.ABORTED
+
+
+def test_commit_discards_undo():
+    tm = TransactionManager()
+    txn = tm.begin()
+    log = []
+    txn.on_abort(lambda: log.append("x"))
+    tm.commit(txn)
+    assert log == []
+
+
+def test_double_commit_rejected():
+    tm = TransactionManager()
+    txn = tm.begin()
+    tm.commit(txn)
+    with pytest.raises(TransactionError):
+        tm.commit(txn)
+
+
+def test_active_transactions_tracked():
+    tm = TransactionManager()
+    a, b = tm.begin(), tm.begin()
+    assert {t.txn_id for t in tm.active_transactions} == {a.txn_id, b.txn_id}
+    tm.commit(a)
+    assert tm.active_transactions == [b]

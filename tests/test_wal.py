@@ -1,0 +1,77 @@
+"""Unit tests for the write-ahead log itself."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.recovery.wal import WriteAheadLog
+from repro.storage.disk import SimulatedDisk
+
+
+def test_append_returns_increasing_lsns():
+    log = WriteAheadLog()
+    lsns = [log.append("x", n=i) for i in range(5)]
+    assert lsns == [1, 2, 3, 4, 5]
+    assert len(log) == 5
+
+
+def test_records_filter_by_kind():
+    log = WriteAheadLog()
+    log.append("a", v=1)
+    log.append("b", v=2)
+    log.append("a", v=3)
+    assert [r.payload["v"] for r in log.records("a")] == [1, 3]
+    assert [r.kind for r in log.records()] == ["a", "b", "a"]
+
+
+def test_records_after_and_last():
+    log = WriteAheadLog()
+    for i in range(4):
+        log.append("k", i=i)
+    assert [r.payload["i"] for r in log.records_after(2)] == [2, 3]
+    assert log.last("k").payload["i"] == 3
+    assert log.last("missing") is None
+
+
+def test_tail():
+    log = WriteAheadLog()
+    for i in range(10):
+        log.append("k", i=i)
+    assert [r.payload["i"] for r in log.tail(3)] == [7, 8, 9]
+
+
+def test_find_open_bulk_delete_states():
+    log = WriteAheadLog()
+    assert log.find_open_bulk_delete() is None
+    begin = log.append("bulk_begin", table="R")
+    assert log.find_open_bulk_delete().lsn == begin
+    log.append("bulk_end", begin_lsn=begin)
+    assert log.find_open_bulk_delete() is None
+    # A second statement opens again.
+    begin2 = log.append("bulk_begin", table="R")
+    assert log.find_open_bulk_delete().lsn == begin2
+
+
+def test_find_open_rejects_corrupt_logs():
+    log = WriteAheadLog()
+    log.append("bulk_end", begin_lsn=1)
+    with pytest.raises(RecoveryError):
+        log.find_open_bulk_delete()
+    log2 = WriteAheadLog()
+    a = log2.append("bulk_begin", table="R")
+    log2.append("bulk_begin", table="S")
+    log2.append("bulk_end", begin_lsn=a)  # mismatched nesting
+    with pytest.raises(RecoveryError):
+        log2.find_open_bulk_delete()
+
+
+def test_append_charges_simulated_time():
+    disk = SimulatedDisk(page_size=512)
+    log = WriteAheadLog(disk)
+    t0 = disk.clock.now_ms
+    log.append("k")
+    assert disk.clock.now_ms > t0
+
+
+def test_append_without_disk_is_free():
+    log = WriteAheadLog()
+    log.append("k")  # no clock to advance; just must not crash

@@ -1,0 +1,196 @@
+"""Tests for the workload generator and the benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import run_approach, sweep
+from repro.bench.report import format_table, paper_vs_measured, shape_checks
+from repro.workload.generator import (
+    INT_COLUMNS,
+    Workload,
+    WorkloadConfig,
+    build_workload,
+    generate_rows,
+    make_schema,
+    pick_inner_fanout,
+)
+
+SMALL = dict(record_count=1500)
+
+
+def test_schema_matches_paper_shape():
+    schema = make_schema()
+    assert schema.column_names[:10] == list(INT_COLUMNS)
+    assert schema.column_names[-1] == "K"
+    from repro.storage.serializer import RecordSerializer
+
+    assert RecordSerializer(schema).record_size == 512
+
+
+def test_generate_rows_duplicate_free():
+    rows, columns = generate_rows(500, seed=1)
+    assert len(rows) == 500
+    for name in INT_COLUMNS:
+        assert len(set(columns[name])) == 500
+
+
+def test_generate_rows_deterministic():
+    a = generate_rows(100, seed=9)[0]
+    b = generate_rows(100, seed=9)[0]
+    assert a == b
+    c = generate_rows(100, seed=10)[0]
+    assert a != c
+
+
+def test_memory_scaling_ratio():
+    config = WorkloadConfig(record_count=20_000, memory_paper_mb=5.0)
+    # 5 MB of a 512 MB table ~ 1%; our table is 10.24 MB -> ~100 KiB.
+    assert 90_000 < config.memory_bytes < 120_000
+    assert config.scale_factor == pytest.approx(50.0)
+
+
+def test_memory_floor_applies():
+    config = WorkloadConfig(record_count=500, memory_paper_mb=2.0)
+    assert config.memory_bytes >= 16 * config.page_size
+
+
+def test_pick_inner_fanout():
+    # 88 leaves, natural capacity 254: natural height is 2.
+    assert pick_inner_fanout(88, 2, 254) is None
+    fanout3 = pick_inner_fanout(88, 3, 254)
+    assert fanout3 is not None and 4 <= fanout3 < 254
+    with pytest.raises(ValueError):
+        pick_inner_fanout(2, 9, 254)
+
+
+def test_build_workload_end_to_end():
+    wl = build_workload(WorkloadConfig(**SMALL))
+    assert wl.db.table("R").record_count == 1500
+    index = wl.db.table("R").index("I_R_A")
+    assert index.tree.entry_count == 1500
+    # Measurements were reset after setup.
+    assert wl.db.clock.now_ms == 0.0
+    assert wl.db.disk.stats.reads == 0
+
+
+def test_build_workload_forced_height():
+    wl = build_workload(WorkloadConfig(index_height=3, **SMALL))
+    assert wl.db.table("R").index("I_R_A").tree.height == 3
+
+
+def test_build_workload_clustered():
+    wl = build_workload(WorkloadConfig(clustered_on="A", **SMALL))
+    rows = [v[0] for _, v in wl.db.scan("R")]
+    assert rows == sorted(rows)
+    assert wl.db.table("R").index("I_R_A").clustered
+
+
+def test_delete_keys_sampling():
+    wl = build_workload(WorkloadConfig(**SMALL))
+    keys = wl.delete_keys(0.10)
+    assert len(keys) == 150
+    assert set(keys) <= set(wl.a_values)
+    assert keys != sorted(keys)  # arrival order is random, like table D
+    with pytest.raises(ValueError):
+        wl.delete_keys(0.0)
+
+
+def test_run_approach_returns_measurements():
+    config = WorkloadConfig(**SMALL)
+    result = run_approach("bulk", config, 0.10)
+    assert result.records_deleted == 150
+    assert result.sim_seconds > 0
+    assert result.scaled_minutes > 0
+    assert result.io.total_ios > 0
+
+
+def test_run_approach_rejects_unknown():
+    with pytest.raises(ValueError):
+        run_approach("magic", WorkloadConfig(**SMALL), 0.1)
+
+
+def test_bulk_beats_traditional_at_15_percent():
+    """The headline result, as a unit test."""
+    config = WorkloadConfig(**SMALL)
+    bulk = run_approach("bulk", config, 0.15)
+    trad = run_approach("not sorted/trad", config, 0.15)
+    assert bulk.records_deleted == trad.records_deleted
+    assert trad.sim_seconds > 3 * bulk.sim_seconds
+
+
+def test_bulk_flat_in_delete_fraction():
+    config = WorkloadConfig(**SMALL)
+    small = run_approach("bulk", config, 0.05)
+    large = run_approach("bulk", config, 0.20)
+    assert large.sim_seconds < small.sim_seconds * 2
+
+
+def test_traditional_grows_with_delete_fraction():
+    config = WorkloadConfig(**SMALL)
+    small = run_approach("sorted/trad", config, 0.05)
+    large = run_approach("sorted/trad", config, 0.20)
+    assert large.sim_seconds > small.sim_seconds * 2
+
+
+def test_clustered_sorted_trad_beats_bulk():
+    """Figure 10's crossover: the one case the traditional plan wins."""
+    config = WorkloadConfig(clustered_on="A", **SMALL)
+    trad = run_approach("sorted/trad", config, 0.15)
+    bulk = run_approach("bulk", config, 0.15)
+    assert trad.sim_seconds < bulk.sim_seconds
+
+
+def test_all_bulk_variants_agree_on_deletions():
+    config = WorkloadConfig(**SMALL)
+    results = [
+        run_approach(ap, config, 0.10)
+        for ap in ("bulk", "bulk-hash", "bulk-partitioned")
+    ]
+    assert len({r.records_deleted for r in results}) == 1
+
+
+def test_sweep_produces_series():
+    series = sweep(
+        "mini", "pct", [5, 10],
+        ["bulk"],
+        make_config=lambda p: WorkloadConfig(record_count=1000),
+        make_fraction=lambda p: p / 100.0,
+    )
+    assert len(series.scaled_minutes("bulk")) == 2
+
+
+def test_format_table_renders():
+    text = format_table(
+        "T", "x", [1, 2],
+        {"a": [1.0, 2.0], "b": [float("nan"), 3.0]},
+    )
+    assert "T" in text and "1.00" in text and "-" in text
+
+
+def test_paper_vs_measured_interleaves():
+    series = sweep(
+        "mini", "pct", [5],
+        ["bulk"],
+        make_config=lambda p: WorkloadConfig(record_count=1000),
+        make_fraction=lambda p: p / 100.0,
+    )
+    text = paper_vs_measured(series, {"bulk": [24.9]})
+    assert "bulk (paper)" in text and "bulk (ours)" in text
+    assert shape_checks(series)
+
+
+def test_scenarios_registry():
+    from repro.workload.scenarios import (
+        build_scenario,
+        scenario,
+        scenario_names,
+    )
+
+    assert "paper-default" in scenario_names()
+    with pytest.raises(KeyError):
+        scenario("nope")
+    wl = build_scenario("clustered", record_count=800)
+    assert wl.db.table("R").index("I_R_A").clustered
+    rows = [v[0] for _, v in wl.db.scan("R")]
+    assert rows == sorted(rows)
+    tall = build_scenario("tall-index", record_count=3000)
+    assert tall.db.table("R").index("I_R_A").tree.height >= 3
