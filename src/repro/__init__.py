@@ -7,7 +7,9 @@ The public API re-exports the pieces a downstream user needs:
 * schema helpers (:class:`TableSchema`, :class:`Attribute`),
 * :func:`bulk_delete` — the paper's vertical, set-oriented bulk delete,
 * the baselines (:func:`traditional_delete`, :func:`drop_create_delete`),
-* the planner (:func:`choose_plan`) and plan/option/result types.
+* the planner (:func:`choose_plan`) and plan/option/result types,
+* the static plan linter (:func:`lint_plan` / :func:`validate_plan`)
+  from :mod:`repro.analysis`.
 """
 
 from repro.catalog.database import Database
@@ -23,11 +25,14 @@ from repro.core.integrity import (
     OnDelete,
     bulk_delete_with_integrity,
 )
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.plan_lint import lint_plan
 from repro.core.executor import (
     BulkDeleteOptions,
     BulkDeleteResult,
     bulk_delete,
     execute_plan,
+    validate_plan,
 )
 from repro.core.planner import choose_plan
 from repro.core.plans import BdMethod, BdPredicate, BulkDeletePlan
@@ -48,7 +53,9 @@ __all__ = [
     "BulkDeletePlan",
     "BulkDeleteResult",
     "Database",
+    "Finding",
     "HashIndex",
+    "Severity",
     "DataType",
     "DropCreateResult",
     "RID",
@@ -60,6 +67,8 @@ __all__ = [
     "choose_plan",
     "drop_create_delete",
     "execute_plan",
+    "lint_plan",
     "traditional_delete",
     "traditional_update",
+    "validate_plan",
 ]

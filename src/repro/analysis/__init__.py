@@ -1,0 +1,45 @@
+"""Static analysis for the reproduction: plan linter + code linter.
+
+Two cooperating checkers guard the invariants the simulated results
+stand on:
+
+* :mod:`repro.analysis.plan_lint` statically verifies the paper's
+  structural plan invariants over :class:`~repro.core.plans.BulkDeletePlan`
+  and its operator DAG before the executor spends simulated I/O,
+* :mod:`repro.analysis.code_lint` walks the package's ASTs and rejects
+  wall-clock reads, unseeded randomness, raw page I/O outside
+  ``repro/storage/``, and ``==`` between float cost estimates.
+
+Run both with ``python -m repro.analysis`` (or ``repro lint`` from the
+CLI); they are also collected as pytest gates in
+``tests/test_plan_lint.py`` / ``tests/test_code_lint.py``.
+"""
+
+from repro.analysis.code_lint import (
+    CODE_RULES,
+    default_root,
+    lint_source,
+    lint_tree,
+)
+from repro.analysis.findings import (
+    Finding,
+    Severity,
+    errors,
+    render_findings,
+)
+from repro.analysis.plan_lint import PLAN_RULES, lint_plan
+from repro.analysis.selfcheck import check_planner_output
+
+__all__ = [
+    "CODE_RULES",
+    "Finding",
+    "PLAN_RULES",
+    "Severity",
+    "check_planner_output",
+    "default_root",
+    "errors",
+    "lint_plan",
+    "lint_source",
+    "lint_tree",
+    "render_findings",
+]

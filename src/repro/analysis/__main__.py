@@ -1,0 +1,107 @@
+"""``python -m repro.analysis`` — run both static checkers as a gate.
+
+Exit status is 0 when no ERROR findings survive, 1 otherwise (2 for
+usage errors), so CI can gate on it directly.  ``--format json`` emits
+a machine-readable report for tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.code_lint import default_root, lint_tree
+from repro.analysis.findings import Finding, Severity, render_findings
+from repro.analysis.selfcheck import check_planner_output
+
+
+def run_analysis(
+    root: Optional[Path] = None,
+    skip_code: bool = False,
+    skip_plans: bool = False,
+    include_warnings: bool = True,
+) -> List[Finding]:
+    """Run the code lint over ``root`` and the planner self-check."""
+    findings: List[Finding] = []
+    if not skip_code:
+        findings.extend(lint_tree(root or default_root()))
+    if not skip_plans:
+        findings.extend(
+            check_planner_output(errors_only=not include_warnings)
+        )
+    return findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="static plan linter + simulation-invariant code lint",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="package directory to code-lint (default: the installed "
+        "repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--skip-code", action="store_true",
+        help="skip the AST code lint",
+    )
+    parser.add_argument(
+        "--skip-plans", action="store_true",
+        help="skip the planner-output self-check",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat WARNING findings as failures too",
+    )
+    args = parser.parse_args(argv)
+    if args.root is not None and not args.root.is_dir():
+        parser.error(f"--root {args.root} is not a directory")
+
+    findings = run_analysis(
+        root=args.root,
+        skip_code=args.skip_code,
+        skip_plans=args.skip_plans,
+    )
+    error_count = sum(
+        1 for f in findings if f.severity is Severity.ERROR
+    )
+    warning_count = len(findings) - error_count
+    failed = error_count > 0 or (args.strict and warning_count > 0)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "ok": not failed,
+                    "errors": error_count,
+                    "warnings": warning_count,
+                    "findings": [f.to_dict() for f in findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        if findings:
+            print(render_findings(findings))
+        print(
+            f"repro.analysis: {error_count} error(s), "
+            f"{warning_count} warning(s) — "
+            + ("FAIL" if failed else "ok")
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,313 @@
+"""AST lint enforcing the simulation invariants of ``src/repro``.
+
+The reproduction's results are *deterministic simulated costs*: every
+I/O goes through the buffer pool onto the simulated disk, every clock
+is the :class:`~repro.storage.disk.SimClock`, and every random stream
+is seeded.  Code that reaches for the host's wall clock, the shared
+(unseeded) ``random`` module state, or the raw page API would silently
+corrupt that determinism — so these are lint rules, not review notes:
+
+* ``code/wall-clock`` — no ``time.time``/``perf_counter``/
+  ``datetime.now`` & friends in simulation paths,
+* ``code/unseeded-random`` — no module-level ``random.*`` calls (they
+  share one unseeded global RNG) and no argument-less
+  ``random.Random()``,
+* ``code/raw-page-io`` — ``disk.read_page``/``write_page`` only inside
+  ``repro/storage/`` (everything else goes through the
+  :class:`~repro.storage.buffer.BufferPool` so caching is accounted),
+* ``code/float-cost-eq`` — no ``==``/``!=`` between float cost
+  estimates (``*_ms``, ``*_seconds``, ``*_minutes``, ``*cost*``).
+
+A deliberate exception carries a per-line pragma::
+
+    wall = time.perf_counter()  # lint: allow(wall-clock)
+
+with a neighbouring comment explaining the constraint.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.findings import Finding, Severity
+
+#: rule id -> one-line description (the catalogue; docs render this)
+CODE_RULES: Dict[str, str] = {
+    "code/wall-clock": (
+        "simulation paths must use SimClock, never the host clock "
+        "(time.time/perf_counter/monotonic, datetime.now/utcnow/today)"
+    ),
+    "code/unseeded-random": (
+        "randomness must come from a seeded random.Random(seed) "
+        "instance; module-level random.* calls and random.Random() "
+        "share or create unseeded state"
+    ),
+    "code/raw-page-io": (
+        "disk.read_page/write_page bypass the BufferPool's caching and "
+        "accounting; only repro/storage/ may call them directly"
+    ),
+    "code/float-cost-eq": (
+        "float cost estimates (*_ms, *_seconds, *_minutes, *cost*) "
+        "must not be compared with == / != ; use ordering or a "
+        "tolerance"
+    ),
+}
+
+_WALL_CLOCK_CALLS = {
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+}
+_WALL_CLOCK_NAMES = {
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns",
+}
+
+#: module-level functions of ``random`` that use the shared global RNG
+_GLOBAL_RANDOM_FUNCS = {
+    "random", "randint", "randrange", "randbytes", "choice", "choices",
+    "shuffle", "sample", "uniform", "triangular", "gauss", "seed",
+    "getrandbits", "betavariate", "expovariate", "gammavariate",
+    "lognormvariate", "normalvariate", "paretovariate", "vonmisesvariate",
+    "weibullvariate",
+}
+
+_RAW_IO_ATTRS = {"read_page", "write_page"}
+
+_COST_NAME = re.compile(
+    r"(_ms|_seconds|_minutes)$|cost", re.IGNORECASE
+)
+
+_PRAGMA = re.compile(r"#\s*lint:\s*allow\(([^)]*)\)")
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_cost_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return bool(_COST_NAME.search(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(_COST_NAME.search(node.attr))
+    return False
+
+
+@dataclass
+class _Visitor(ast.NodeVisitor):
+    filename: str
+    in_storage: bool
+    #: names bound by ``from time/datetime/random import X``
+    clock_aliases: Set[str] = field(default_factory=set)
+    random_aliases: Set[str] = field(default_factory=set)
+    random_class_aliases: Set[str] = field(default_factory=set)
+    findings: List[Finding] = field(default_factory=list)
+
+    def _emit(self, rule: str, node: ast.AST, label: str, msg: str) -> None:
+        self.findings.append(
+            Finding(
+                rule,
+                Severity.ERROR,
+                label,
+                msg,
+                file=self.filename,
+                line=getattr(node, "lineno", None),
+            )
+        )
+
+    # -- imports: track aliases so bare calls are caught too ----------
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALL_CLOCK_NAMES:
+                    self.clock_aliases.add(alias.asname or alias.name)
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    self.clock_aliases.add(
+                        (alias.asname or alias.name) + ".now"
+                    )
+        elif node.module == "random":
+            for alias in node.names:
+                if alias.name in _GLOBAL_RANDOM_FUNCS:
+                    self.random_aliases.add(alias.asname or alias.name)
+                elif alias.name == "Random":
+                    self.random_class_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- calls --------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        self._check_wall_clock(node, dotted)
+        self._check_random(node, dotted)
+        self._check_raw_io(node)
+        self.generic_visit(node)
+
+    def _check_wall_clock(
+        self, node: ast.Call, dotted: Optional[str]
+    ) -> None:
+        hit = dotted is not None and (
+            dotted in _WALL_CLOCK_CALLS or dotted in self.clock_aliases
+        )
+        if hit:
+            self._emit(
+                "code/wall-clock",
+                node,
+                dotted or "<call>",
+                f"{dotted}() reads the host clock; simulated time comes "
+                "from db.clock (SimClock) so results stay deterministic",
+            )
+
+    def _check_random(self, node: ast.Call, dotted: Optional[str]) -> None:
+        if dotted is None:
+            return
+        if (
+            dotted.startswith("random.")
+            and dotted.split(".", 1)[1] in _GLOBAL_RANDOM_FUNCS
+        ) or dotted in self.random_aliases:
+            self._emit(
+                "code/unseeded-random",
+                node,
+                dotted,
+                f"{dotted}() uses the module-global RNG, which is never "
+                "seeded here; construct random.Random(seed) instead",
+            )
+            return
+        is_random_ctor = dotted == "random.Random" or (
+            dotted in self.random_class_aliases
+        )
+        if is_random_ctor and not node.args and not node.keywords:
+            self._emit(
+                "code/unseeded-random",
+                node,
+                dotted,
+                "random.Random() without a seed is nondeterministic; "
+                "pass an explicit seed",
+            )
+
+    def _check_raw_io(self, node: ast.Call) -> None:
+        if self.in_storage:
+            return
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RAW_IO_ATTRS
+        ):
+            self._emit(
+                "code/raw-page-io",
+                node,
+                _dotted(node.func) or node.func.attr,
+                f".{node.func.attr}() bypasses the BufferPool; outside "
+                "repro/storage/ every page access must be pinned "
+                "through the pool so hits and evictions are accounted",
+            )
+
+    # -- comparisons --------------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_cost_expr(left) or _is_cost_expr(right):
+                names = [
+                    _dotted(side) or type(side).__name__
+                    for side in (left, right)
+                ]
+                self._emit(
+                    "code/float-cost-eq",
+                    node,
+                    " == ".join(names),
+                    "cost estimates are floats; exact equality is "
+                    "fragile — compare with <, >, or math.isclose",
+                )
+        self.generic_visit(node)
+
+
+def _allowed_rules(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """``line number -> rule names`` from per-line allow-pragmas."""
+    allowed: Dict[int, Set[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        match = _PRAGMA.search(line)
+        if match:
+            names = {
+                name.strip() for name in match.group(1).split(",")
+                if name.strip()
+            }
+            allowed[i] = names
+    return allowed
+
+
+def _suppressed(finding: Finding, allowed: Dict[int, Set[str]]) -> bool:
+    if finding.line is None or finding.line not in allowed:
+        return False
+    names = allowed[finding.line]
+    short = finding.rule_id.split("/", 1)[-1]
+    return finding.rule_id in names or short in names or "*" in names
+
+
+def lint_source(
+    source: str,
+    filename: str = "<string>",
+    in_storage: bool = False,
+) -> List[Finding]:
+    """Lint one module's source text; returns surviving findings."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                "code/syntax",
+                Severity.ERROR,
+                filename,
+                f"cannot parse: {exc.msg}",
+                file=filename,
+                line=exc.lineno,
+            )
+        ]
+    visitor = _Visitor(filename=filename, in_storage=in_storage)
+    visitor.visit(tree)
+    allowed = _allowed_rules(source.splitlines())
+    return [f for f in visitor.findings if not _suppressed(f, allowed)]
+
+
+def lint_tree(root: Path) -> List[Finding]:
+    """Lint every ``*.py`` under ``root`` (the ``repro`` package dir).
+
+    A file is "in storage" when any of its path components below
+    ``root`` is the ``storage`` package — those modules implement the
+    page API and may call it raw.
+    """
+    findings: List[Finding] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        in_storage = "storage" in rel.parts[:-1]
+        findings.extend(
+            lint_source(
+                path.read_text(),
+                filename=str(rel),
+                in_storage=in_storage,
+            )
+        )
+    return findings
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent

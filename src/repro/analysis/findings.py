@@ -1,0 +1,71 @@
+"""Structured findings shared by the plan linter and the code linter.
+
+Both checkers in :mod:`repro.analysis` report problems the same way: a
+:class:`Finding` names the rule that fired, how bad it is, where it
+fired (a plan step / DAG node for the plan linter, a ``file:line`` for
+the code linter), and a human-readable message.  Tooling consumes the
+JSON form (``python -m repro.analysis --format json``); the executor
+and EXPLAIN consume the objects directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+
+class Severity(enum.Enum):
+    """How a finding affects the pipeline.
+
+    ERROR findings make ``python -m repro.analysis`` exit nonzero and
+    make :func:`repro.core.executor.execute_plan` reject the plan when
+    ``validate=True``.  WARNING findings are reported (EXPLAIN shows
+    them) but never block.  INFO findings are purely advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (or advisory note)."""
+
+    rule_id: str
+    severity: Severity
+    node: str  #: plan step / DAG node / "file:line" the rule fired on
+    message: str
+    file: Optional[str] = None
+    line: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "node": self.node,
+            "message": self.message,
+        }
+        if self.file is not None:
+            out["file"] = self.file
+        if self.line is not None:
+            out["line"] = self.line
+        return out
+
+    def render(self) -> str:
+        where = self.node
+        if self.file is not None:
+            where = f"{self.file}:{self.line or 0}"
+        return f"{self.severity.value.upper()} {self.rule_id} @ {where}: " \
+               f"{self.message}"
+
+
+def errors(findings: Sequence[Finding]) -> List[Finding]:
+    """The subset of ``findings`` that blocks execution."""
+    return [f for f in findings if f.severity is Severity.ERROR]
+
+
+def render_findings(findings: Sequence[Finding]) -> str:
+    """Multi-line text report (one line per finding)."""
+    return "\n".join(f.render() for f in findings)

@@ -1,0 +1,136 @@
+"""Plan-linter self-check: real planner output must lint clean.
+
+``python -m repro.analysis`` does not only lint the *source tree*; it
+also plans a corpus of representative bulk deletes — unique and
+clustered secondary indexes, hash indexes, tight and roomy memory
+budgets, every ``bd`` method, the horizontal fallback — and runs the
+plan linter over each choice.  A planner change that starts emitting
+an invariant-violating plan therefore fails the same gate as a lint
+violation in the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.plan_lint import lint_plan
+from repro.catalog.database import Database
+from repro.catalog.schema import Attribute, TableSchema
+from repro.core.planner import choose_plan
+from repro.core.plans import BdMethod
+
+
+@dataclass(frozen=True)
+class PlanCase:
+    """One (schema shape, delete size, planner knobs) combination."""
+
+    name: str
+    unique_b: bool = False
+    clustered_a: bool = False
+    with_hash_index: bool = False
+    memory_bytes: int = 64 * 1024
+    n_deletes: int = 64
+    record_count: int = 256
+    prefer_method: Optional[BdMethod] = None
+    force_vertical: bool = True
+
+
+CASES: Tuple[PlanCase, ...] = (
+    PlanCase("sort-merge-plain"),
+    PlanCase("sort-merge-unique", unique_b=True),
+    PlanCase("clustered-driving", clustered_a=True),
+    PlanCase("clustered-unique", clustered_a=True, unique_b=True),
+    PlanCase("hash-method", prefer_method=BdMethod.HASH),
+    PlanCase(
+        "hash-overflow-fallback",
+        prefer_method=BdMethod.HASH,
+        memory_bytes=4096,
+        n_deletes=512,
+    ),
+    PlanCase(
+        "tight-memory-unique",
+        unique_b=True,
+        memory_bytes=4096,
+        n_deletes=512,
+    ),
+    PlanCase("partitioned", prefer_method=BdMethod.PARTITIONED_HASH),
+    PlanCase("with-hash-index", with_hash_index=True, unique_b=True),
+    PlanCase(
+        "horizontal-fallback",
+        n_deletes=1,
+        record_count=4096,
+        force_vertical=False,
+    ),
+)
+
+
+def _build_case_db(case: PlanCase) -> Database:
+    db = Database(page_size=512, memory_bytes=case.memory_bytes)
+    schema = TableSchema.of(
+        "R",
+        [Attribute.int_("A"), Attribute.int_("B"), Attribute.int_("C")],
+    )
+    db.create_table(schema)
+    db.load_table(
+        "R",
+        ((i, i * 3 + 1, i * 7 + 2) for i in range(case.record_count)),
+    )
+    db.create_index("R", "A", clustered=case.clustered_a)
+    db.create_index("R", "B", unique=case.unique_b)
+    if case.with_hash_index:
+        db.create_hash_index("R", "C")
+    else:
+        db.create_index("R", "C")
+    return db
+
+
+def check_planner_output(
+    errors_only: bool = True,
+) -> List[Finding]:
+    """Plan every case and lint the result; returns the findings.
+
+    ``errors_only`` drops WARNING findings the planner legitimately
+    produces (e.g. the delayed-unique warning under a tight memory
+    budget) so the gate is about violated invariants, not trade-offs
+    the planner documented in its notes.
+    """
+    findings: List[Finding] = []
+    for case in CASES:
+        db = _build_case_db(case)
+        plan = choose_plan(
+            db,
+            "R",
+            "A",
+            case.n_deletes,
+            prefer_method=case.prefer_method,
+            force_vertical=case.force_vertical,
+        )
+        for finding in lint_plan(plan, db):
+            if errors_only and finding.severity is not Severity.ERROR:
+                continue
+            findings.append(
+                Finding(
+                    finding.rule_id,
+                    finding.severity,
+                    f"{case.name}: {finding.node}",
+                    finding.message,
+                )
+            )
+    return findings
+
+
+def iter_case_plans() -> Iterator[Tuple[PlanCase, Database, object]]:
+    """(case, db, plan) triples — test helper for the pytest gate."""
+    for case in CASES:
+        db = _build_case_db(case)
+        plan = choose_plan(
+            db,
+            "R",
+            "A",
+            case.n_deletes,
+            prefer_method=case.prefer_method,
+            force_vertical=case.force_vertical,
+        )
+        yield case, db, plan

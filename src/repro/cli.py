@@ -9,7 +9,10 @@ Commands:
   (``figure_1``, ``figure_7``, ``figure_8``, ``table_1``, ``figure_9``,
   ``figure_10``, or ``all``),
 * ``demo`` — a one-minute tour: build a workload, show the plan, run
-  the bulk delete and the traditional baseline.
+  the bulk delete and the traditional baseline,
+* ``lint`` (alias ``analysis``) — run the static checkers of
+  :mod:`repro.analysis`: the simulation-invariant code lint over the
+  package and the plan linter over representative planner output.
 """
 
 from __future__ import annotations
@@ -129,6 +132,21 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.__main__ import main as analysis_main
+
+    argv: List[str] = ["--format", args.format]
+    if args.root:
+        argv += ["--root", args.root]
+    if args.skip_code:
+        argv.append("--skip-code")
+    if args.skip_plans:
+        argv.append("--skip-plans")
+    if args.strict:
+        argv.append("--strict")
+    return analysis_main(argv)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -154,6 +172,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_demo = sub.add_parser("demo", help="one-minute guided tour")
     p_demo.add_argument("--records", type=int, default=5000)
     p_demo.set_defaults(func=_cmd_demo)
+
+    for lint_name in ("lint", "analysis"):
+        p_lint = sub.add_parser(
+            lint_name,
+            help="run the static checkers (plan linter + code lint)",
+        )
+        p_lint.add_argument("--format", choices=("text", "json"),
+                            default="text")
+        p_lint.add_argument("--root", default=None,
+                            help="package dir to code-lint (default: "
+                            "the installed repro package)")
+        p_lint.add_argument("--skip-code", action="store_true")
+        p_lint.add_argument("--skip-plans", action="store_true")
+        p_lint.add_argument("--strict", action="store_true",
+                            help="fail on warnings too")
+        p_lint.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

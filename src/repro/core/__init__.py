@@ -14,6 +14,7 @@ from repro.core.executor import (
     BulkDeleteResult,
     bulk_delete,
     execute_plan,
+    validate_plan,
 )
 from repro.core.planner import (
     choose_plan,
@@ -78,4 +79,5 @@ __all__ = [
     "execute_plan",
     "sweep_with_base_node_reorg",
     "traditional_delete",
+    "validate_plan",
 ]

@@ -34,7 +34,7 @@ from repro.core.plans import (
     BulkDeletePlan,
     StepPlan,
 )
-from repro.errors import PlanningError
+from repro.errors import PlanningError, PlanValidationError
 from repro.query.hashtable import BoundedHashSet, HashTableOverflowError
 from repro.query.sort import ExternalSorter
 from repro.storage.disk import DiskStats
@@ -96,13 +96,43 @@ class BulkDeleteResult:
         return "\n".join(lines)
 
 
+def validate_plan(db: Database, plan: BulkDeletePlan) -> None:
+    """Reject ``plan`` if the static plan linter finds ERROR findings.
+
+    Runs :func:`repro.analysis.plan_lint.lint_plan` with full catalog
+    context; WARNING findings pass (EXPLAIN surfaces them), ERROR
+    findings raise :class:`PlanValidationError` before any simulated
+    I/O is charged.
+    """
+    from repro.analysis.findings import errors as error_findings
+    from repro.analysis.plan_lint import lint_plan
+
+    broken = error_findings(lint_plan(plan, db))
+    if broken:
+        detail = "; ".join(
+            f"{f.rule_id} @ {f.node}: {f.message}" for f in broken
+        )
+        raise PlanValidationError(
+            f"plan for {plan.table_name} violates "
+            f"{len(broken)} invariant(s): {detail}",
+            findings=broken,
+        )
+
+
 def execute_plan(
     db: Database,
     plan: BulkDeletePlan,
     keys: Sequence[int],
     options: Optional[BulkDeleteOptions] = None,
+    validate: bool = True,
 ) -> BulkDeleteResult:
-    """Run a vertical plan.  ``keys`` is the delete list (column values)."""
+    """Run a vertical plan.  ``keys`` is the delete list (column values).
+
+    With ``validate=True`` (the default) the plan is first checked
+    against the paper's structural invariants by the static plan
+    linter; an invalid plan raises :class:`PlanValidationError`
+    *before* the executor charges any simulated I/O for it.
+    """
     options = options or BulkDeleteOptions()
     table = db.table(plan.table_name)
     if plan.table_step().method is BdMethod.NESTED_LOOPS:
@@ -110,6 +140,8 @@ def execute_plan(
             "horizontal plans are executed by repro.core.traditional; "
             "use bulk_delete() for automatic dispatch"
         )
+    if validate:
+        validate_plan(db, plan)
     start_ms = db.clock.now_ms
     io_before = db.disk.stats.snapshot()
     result = BulkDeleteResult(plan=plan)
@@ -305,12 +337,15 @@ def bulk_delete(
     options: Optional[BulkDeleteOptions] = None,
     prefer_method: Optional[BdMethod] = None,
     force_vertical: bool = True,
+    validate: bool = True,
 ) -> BulkDeleteResult:
     """Plan and execute ``DELETE FROM table WHERE column IN keys``.
 
     With ``force_vertical=False`` the planner may choose the
     traditional horizontal execution when the delete list is small; the
-    result object is shaped the same either way.
+    result object is shaped the same either way.  ``validate`` runs the
+    static plan linter before execution (mainly a guard for
+    caller-supplied plans; planner output lints clean by construction).
     """
     if plan is None:
         plan = choose_plan(
@@ -332,4 +367,4 @@ def bulk_delete(
             elapsed_ms=trad.elapsed_ms,
             io=trad.io,
         )
-    return execute_plan(db, plan, keys, options)
+    return execute_plan(db, plan, keys, options, validate=validate)

@@ -18,7 +18,7 @@ faithful, text-mode version of the figures::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from repro.core.plans import (
     TABLE_TARGET,
@@ -27,6 +27,7 @@ from repro.core.plans import (
     BulkDeletePlan,
     StepPlan,
 )
+from repro.errors import PlanningError
 
 
 @dataclass
@@ -39,6 +40,12 @@ class OpNode:
     def add(self, child: "OpNode") -> "OpNode":
         self.children.append(child)
         return child
+
+    def walk(self) -> Iterator["OpNode"]:
+        """Pre-order traversal of the DAG (self first)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
 
     def render(self, indent: str = "") -> List[str]:
         lines = [f"{indent}{self.label}"]
@@ -77,8 +84,13 @@ def build_dag(plan: BulkDeletePlan) -> OpNode:
     source: OpNode
     if plan.driving_index:
         driving_step = next(
-            s for s in plan.steps if s.target == plan.driving_index
+            (s for s in plan.steps if s.target == plan.driving_index), None
         )
+        if driving_step is None:
+            raise PlanningError(
+                f"driving index {plan.driving_index} has no step in the "
+                "plan; nothing would produce the RID list"
+            )
         source = root.add(
             OpNode(
                 f"bd[{driving_step.method.value}] {plan.driving_index}"

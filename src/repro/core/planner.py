@@ -147,6 +147,7 @@ def choose_plan(
         column=column,
         driving_index=driving.name if driving else None,
         estimated_ms=min(horizontal.io_ms, vertical.io_ms),
+        n_deletes=n_deletes,
     )
     if not force_vertical and horizontal.io_ms < vertical.io_ms:
         plan.steps = [

@@ -73,6 +73,10 @@ class BulkDeletePlan:
     sort_rid_list: bool = True
     estimated_ms: Optional[float] = None
     notes: List[str] = field(default_factory=list)
+    #: Size of the delete list the plan was costed for.  The static
+    #: plan linter uses it to verify hash-method memory feasibility;
+    #: ``None`` (a hand-built plan) skips those checks.
+    n_deletes: Optional[int] = None
 
     def index_steps(self) -> List[StepPlan]:
         return [s for s in self.steps if not s.is_table]

@@ -5,6 +5,11 @@ applications can catch engine failures with a single handler while still
 being able to distinguish storage, catalog, transaction, and SQL errors.
 """
 
+from typing import TYPE_CHECKING, Iterable, List
+
+if TYPE_CHECKING:  # avoid a runtime cycle: analysis imports core/catalog
+    from repro.analysis.findings import Finding
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro engine."""
@@ -72,3 +77,17 @@ class SqlBindError(SqlError):
 
 class PlanningError(ReproError):
     """The bulk-delete planner could not produce a valid plan."""
+
+
+class PlanValidationError(PlanningError):
+    """The static plan linter rejected a plan (ERROR-severity findings).
+
+    ``findings`` carries the structured
+    :class:`repro.analysis.findings.Finding` objects that fired.
+    """
+
+    def __init__(
+        self, message: str, findings: "Iterable[Finding]" = ()
+    ) -> None:
+        super().__init__(message)
+        self.findings: "List[Finding]" = list(findings)

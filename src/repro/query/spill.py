@@ -83,7 +83,11 @@ class SpillFile:
             self._entry_struct.pack_into(data, offset, *item)
             offset += self._entry_struct.size
         page_id = self.disk.allocate_page(self.file_id)
-        self.disk.write_page(page_id, bytes(data))
+        # Spill pages bypass the BufferPool by design: sort runs and
+        # partitions are written once and scanned once, so caching them
+        # would only evict pages that *do* get re-read (§2.1's sorts
+        # share memory with the pool, not frames).
+        self.disk.write_page(page_id, bytes(data))  # lint: allow(raw-page-io)
         self.page_ids.append(page_id)
         self._write_buffer = []
 
@@ -91,7 +95,7 @@ class SpillFile:
         """Sequentially scan all tuples (seals the file first)."""
         self.seal()
         for page_id in self.page_ids:
-            data = self.disk.read_page(page_id)
+            data = self.disk.read_page(page_id)  # lint: allow(raw-page-io)
             (count,) = _COUNT.unpack_from(data, 0)
             offset = _COUNT.size
             for _ in range(count):

@@ -228,12 +228,20 @@ class SqlSession:
             len(key_values),
             force_vertical=self.force_vertical,
         )
+        from repro.analysis.plan_lint import lint_plan
         from repro.core.operator import render_plan_dag
         from repro.core.plans import BdMethod
 
         text = plan.explain()
         if plan.table_step().method is not BdMethod.NESTED_LOOPS:
             text += "\n" + render_plan_dag(plan)
+        findings = lint_plan(plan, self.db)
+        if findings:
+            text += "\nplan lint:"
+            for finding in findings:
+                text += f"\n  {finding.render()}"
+        else:
+            text += "\nplan lint: clean"
         return StatementResult("explain", text=text)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,265 @@
+"""Gate tests for the simulation-invariant code lint.
+
+Synthetic fixtures exercise each rule (positive and negative), the
+pragma suppression syntax is verified, and — the actual gate — the
+real ``src/repro`` tree must lint clean.
+"""
+
+import textwrap
+
+from repro.analysis.code_lint import (
+    CODE_RULES,
+    default_root,
+    lint_source,
+    lint_tree,
+)
+from repro.analysis.findings import Severity
+
+
+def lint(snippet: str, **kw):
+    return lint_source(textwrap.dedent(snippet), filename="fixture.py",
+                       **kw)
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# code/wall-clock
+# ---------------------------------------------------------------------------
+def test_wall_clock_time_module():
+    findings = lint(
+        """
+        import time
+        start = time.time()
+        t = time.perf_counter()
+        """
+    )
+    assert rule_ids(findings) == ["code/wall-clock", "code/wall-clock"]
+    assert findings[0].line == 3
+
+
+def test_wall_clock_datetime():
+    findings = lint(
+        """
+        import datetime
+        from datetime import datetime as dt
+        a = datetime.datetime.now()
+        b = dt.now()
+        c = datetime.date.today()
+        """
+    )
+    assert rule_ids(findings) == ["code/wall-clock"] * 3
+
+
+def test_wall_clock_from_import_alias():
+    findings = lint(
+        """
+        from time import perf_counter as pc
+        x = pc()
+        """
+    )
+    assert rule_ids(findings) == ["code/wall-clock"]
+
+
+def test_sim_clock_is_fine():
+    assert lint(
+        """
+        def cost(db):
+            return db.clock.now_ms
+        """
+    ) == []
+
+
+# ---------------------------------------------------------------------------
+# code/unseeded-random
+# ---------------------------------------------------------------------------
+def test_module_level_random_calls():
+    findings = lint(
+        """
+        import random
+        x = random.randint(0, 9)
+        random.shuffle([1, 2])
+        random.seed(42)
+        """
+    )
+    assert rule_ids(findings) == ["code/unseeded-random"] * 3
+
+
+def test_unseeded_random_constructor():
+    findings = lint(
+        """
+        import random
+        rng = random.Random()
+        """
+    )
+    assert rule_ids(findings) == ["code/unseeded-random"]
+
+
+def test_seeded_random_is_fine():
+    assert lint(
+        """
+        import random
+        rng = random.Random(7)
+        y = rng.randint(0, 9)
+        """
+    ) == []
+
+
+def test_from_import_random_function():
+    findings = lint(
+        """
+        from random import choice
+        x = choice([1, 2])
+        """
+    )
+    assert rule_ids(findings) == ["code/unseeded-random"]
+
+
+# ---------------------------------------------------------------------------
+# code/raw-page-io
+# ---------------------------------------------------------------------------
+def test_raw_page_io_outside_storage():
+    findings = lint(
+        """
+        def spill(disk, page_id, data):
+            disk.write_page(page_id, data)
+            return disk.read_page(page_id)
+        """
+    )
+    assert rule_ids(findings) == ["code/raw-page-io"] * 2
+
+
+def test_raw_page_io_allowed_in_storage():
+    assert lint(
+        """
+        def flush(disk, page_id, data):
+            disk.write_page(page_id, data)
+        """,
+        in_storage=True,
+    ) == []
+
+
+def test_buffer_pool_pin_is_fine():
+    assert lint(
+        """
+        def read(pool, page_id):
+            with pool.pin(page_id) as pinned:
+                return bytes(pinned.data)
+        """
+    ) == []
+
+
+# ---------------------------------------------------------------------------
+# code/float-cost-eq
+# ---------------------------------------------------------------------------
+def test_float_cost_equality_flagged():
+    findings = lint(
+        """
+        def pick(a, b):
+            if a.io_ms == b.io_ms:
+                return a
+            if a.estimated_cost != b.estimated_cost:
+                return b
+        """
+    )
+    assert rule_ids(findings) == ["code/float-cost-eq"] * 2
+
+
+def test_float_cost_ordering_is_fine():
+    assert lint(
+        """
+        def pick(a, b):
+            return a if a.io_ms < b.io_ms else b
+        """
+    ) == []
+
+
+def test_non_cost_equality_is_fine():
+    assert lint(
+        """
+        def same(a, b):
+            return a.name == b.name and a.count == b.count
+        """
+    ) == []
+
+
+# ---------------------------------------------------------------------------
+# pragmas
+# ---------------------------------------------------------------------------
+def test_pragma_suppresses_by_short_name():
+    assert lint(
+        """
+        import time
+        t = time.time()  # lint: allow(wall-clock)
+        """
+    ) == []
+
+
+def test_pragma_suppresses_by_full_id():
+    assert lint(
+        """
+        import time
+        t = time.time()  # lint: allow(code/wall-clock)
+        """
+    ) == []
+
+
+def test_pragma_only_covers_named_rules():
+    findings = lint(
+        """
+        import time
+        t = time.time()  # lint: allow(raw-page-io)
+        """
+    )
+    assert rule_ids(findings) == ["code/wall-clock"]
+
+
+def test_pragma_only_covers_its_line():
+    findings = lint(
+        """
+        import time
+        a = time.time()  # lint: allow(wall-clock)
+        b = time.time()
+        """
+    )
+    assert rule_ids(findings) == ["code/wall-clock"]
+    assert findings[0].line == 4
+
+
+def test_multi_rule_pragma():
+    assert lint(
+        """
+        import time
+        def f(disk, pid):
+            t = time.time(); disk.read_page(pid)  # lint: allow(wall-clock, raw-page-io)
+        """
+    ) == []
+
+
+# ---------------------------------------------------------------------------
+# misc behaviour
+# ---------------------------------------------------------------------------
+def test_syntax_error_reported_as_finding():
+    findings = lint("def broken(:\n")
+    assert rule_ids(findings) == ["code/syntax"]
+    assert findings[0].severity is Severity.ERROR
+
+
+def test_every_rule_documented():
+    assert set(CODE_RULES) >= {
+        "code/wall-clock",
+        "code/unseeded-random",
+        "code/raw-page-io",
+        "code/float-cost-eq",
+    }
+    assert all(CODE_RULES.values())
+
+
+# ---------------------------------------------------------------------------
+# the gate: the real tree is clean
+# ---------------------------------------------------------------------------
+def test_real_repro_tree_is_clean():
+    findings = lint_tree(default_root())
+    assert findings == [], "\n".join(f.render() for f in findings)
