@@ -13,8 +13,8 @@ mechanisms the paper discusses qualitatively:
 import pytest
 
 from benchmarks.conftest import emit_report
-from repro.bench.harness import run_approach
-from repro.bench.report import format_table
+from repro.bench.harness import Series, run_approach
+from repro.bench.report import format_table, operator_breakdown
 from repro.btree.maintenance import merge_underfull_leaves, validate_tree
 from repro.core.executor import BulkDeleteOptions
 from repro.workload.generator import WorkloadConfig, build_workload
@@ -30,15 +30,22 @@ def test_ablation_bd_methods(benchmark, records):
     def run():
         rows = {}
         for approach in ("bulk", "bulk-hash", "bulk-partitioned"):
-            rows[approach] = run_approach(approach, _config(records), 0.15)
+            rows[approach] = run_approach(
+                approach, _config(records), 0.15, observe=True
+            )
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     minutes = {k: [v.scaled_minutes] for k, v in rows.items()}
+    breakdown_series = Series(
+        title="", x_label="point", x_values=["15%"],
+        rows={k: [v] for k, v in rows.items()},
+    )
     emit_report(
         "ablation_methods",
         format_table("Ablation: bd method (15% deletes, 2 indexes)",
-                     "point", ["15%"], minutes),
+                     "point", ["15%"], minutes)
+        + "\n\n" + operator_breakdown(breakdown_series),
     )
     values = [v.scaled_minutes for v in rows.values()]
     # All vertical methods sit within a small band of each other — the

@@ -12,7 +12,11 @@ from benchmarks.conftest import emit_report
 from repro.bench.experiments import figure_10
 from repro.bench.paper_data import FIG10_MINUTES
 from repro.bench.plots import render_series
-from repro.bench.report import paper_vs_measured, shape_checks
+from repro.bench.report import (
+    operator_breakdown,
+    paper_vs_measured,
+    shape_checks,
+)
 
 
 def test_figure_10(benchmark, records):
@@ -22,6 +26,7 @@ def test_figure_10(benchmark, records):
     report = paper_vs_measured(series, FIG10_MINUTES)
     report += "\n\n" + render_series(series)
     report += "\n" + "\n".join(shape_checks(series))
+    report += "\n\n" + operator_breakdown(series)
     emit_report("figure_10", report)
 
     clustered = series.scaled_minutes("sorted/trad/clust")

@@ -10,7 +10,11 @@ from benchmarks.conftest import emit_report
 from repro.bench.experiments import figure_1
 from repro.bench.paper_data import FIG1_MINUTES, FIG1_PERCENTS
 from repro.bench.plots import render_series
-from repro.bench.report import paper_vs_measured, shape_checks
+from repro.bench.report import (
+    operator_breakdown,
+    paper_vs_measured,
+    shape_checks,
+)
 
 
 def test_figure_1(benchmark, records):
@@ -25,6 +29,7 @@ def test_figure_1(benchmark, records):
     )
     report += "\n\n" + render_series(series)
     report += "\n" + "\n".join(shape_checks(series))
+    report += "\n\n" + operator_breakdown(series)
     emit_report("figure_1", report)
 
     trad = series.scaled_minutes("not sorted/trad")

@@ -10,7 +10,11 @@ from benchmarks.conftest import emit_report
 from repro.bench.experiments import figure_7
 from repro.bench.paper_data import FIG7_MINUTES
 from repro.bench.plots import render_series
-from repro.bench.report import paper_vs_measured, shape_checks
+from repro.bench.report import (
+    operator_breakdown,
+    paper_vs_measured,
+    shape_checks,
+)
 
 
 def test_figure_7(benchmark, records):
@@ -20,6 +24,7 @@ def test_figure_7(benchmark, records):
     report = paper_vs_measured(series, FIG7_MINUTES)
     report += "\n\n" + render_series(series)
     report += "\n" + "\n".join(shape_checks(series))
+    report += "\n\n" + operator_breakdown(series)
     emit_report("figure_7", report)
 
     sorted_t = series.scaled_minutes("sorted/trad")

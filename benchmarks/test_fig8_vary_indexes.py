@@ -11,7 +11,11 @@ from benchmarks.conftest import emit_report
 from repro.bench.experiments import figure_8
 from repro.bench.paper_data import FIG8_MINUTES
 from repro.bench.plots import render_series
-from repro.bench.report import paper_vs_measured, shape_checks
+from repro.bench.report import (
+    operator_breakdown,
+    paper_vs_measured,
+    shape_checks,
+)
 
 
 def test_figure_8(benchmark, records):
@@ -21,6 +25,7 @@ def test_figure_8(benchmark, records):
     report = paper_vs_measured(series, FIG8_MINUTES)
     report += "\n\n" + render_series(series)
     report += "\n" + "\n".join(shape_checks(series))
+    report += "\n\n" + operator_breakdown(series)
     emit_report("figure_8", report)
 
     sorted_t = series.scaled_minutes("sorted/trad")

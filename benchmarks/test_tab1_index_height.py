@@ -10,7 +10,11 @@ from benchmarks.conftest import emit_report
 from repro.bench.experiments import table_1
 from repro.bench.paper_data import TAB1_MINUTES
 from repro.bench.plots import render_series
-from repro.bench.report import paper_vs_measured, shape_checks
+from repro.bench.report import (
+    operator_breakdown,
+    paper_vs_measured,
+    shape_checks,
+)
 
 
 def test_table_1(benchmark, records):
@@ -24,6 +28,7 @@ def test_table_1(benchmark, records):
     )
     report += "\n\n" + render_series(series)
     report += "\n" + "\n".join(shape_checks(series))
+    report += "\n\n" + operator_breakdown(series)
     emit_report("table_1", report)
 
     bulk = series.scaled_minutes("bulk")

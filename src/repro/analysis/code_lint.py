@@ -16,7 +16,10 @@ corrupt that determinism — so these are lint rules, not review notes:
   ``repro/storage/`` (everything else goes through the
   :class:`~repro.storage.buffer.BufferPool` so caching is accounted),
 * ``code/float-cost-eq`` — no ``==``/``!=`` between float cost
-  estimates (``*_ms``, ``*_seconds``, ``*_minutes``, ``*cost*``).
+  estimates (``*_ms``, ``*_seconds``, ``*_minutes``, ``*cost*``),
+* ``code/adhoc-metrics`` — no mutating *another* object's ``.stats``
+  counters outside ``repro/storage/`` and ``repro/obs/``; metric
+  emission goes through the :mod:`repro.obs` observer hooks.
 
 A deliberate exception carries a per-line pragma::
 
@@ -54,6 +57,11 @@ CODE_RULES: Dict[str, str] = {
         "float cost estimates (*_ms, *_seconds, *_minutes, *cost*) "
         "must not be compared with == / != ; use ordering or a "
         "tolerance"
+    ),
+    "code/adhoc-metrics": (
+        "operators must not poke another object's .stats counters "
+        "directly; metric emission goes through the repro.obs observer "
+        "hooks (a structure may still maintain its own self.stats)"
     ),
 }
 
@@ -113,6 +121,9 @@ def _is_cost_expr(node: ast.expr) -> bool:
 class _Visitor(ast.NodeVisitor):
     filename: str
     in_storage: bool
+    #: inside repro/obs/ — the metrics layer itself is exempt from
+    #: code/adhoc-metrics (it is the sanctioned emission path)
+    in_obs: bool = False
     #: names bound by ``from time/datetime/random import X``
     clock_aliases: Set[str] = field(default_factory=set)
     random_aliases: Set[str] = field(default_factory=set)
@@ -217,6 +228,50 @@ class _Visitor(ast.NodeVisitor):
                 "through the pool so hits and evictions are accounted",
             )
 
+    # -- stats mutations ----------------------------------------------
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_adhoc_metrics(node, node.target)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_adhoc_metrics(node, target)
+        self.generic_visit(node)
+
+    def _check_adhoc_metrics(
+        self, node: ast.AST, target: ast.expr
+    ) -> None:
+        """Flag ``other.stats.field op= ...`` outside storage/obs.
+
+        An object updating its *own* counters (``self.stats.x += 1``)
+        is the measured code maintaining its statistics — fine.
+        Reaching into another object's stats (``db.disk.stats.reads
+        += 1``) is ad-hoc metric emission that bypasses the observer
+        and corrupts the accounting the spans reconcile against.
+        Replacing a whole stats object (``db.disk.stats = DiskStats()``,
+        a measurement reset) does not match: the target's *container*
+        must be the ``.stats`` attribute itself.
+        """
+        if self.in_storage or self.in_obs:
+            return
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Attribute)
+            and target.value.attr == "stats"
+        ):
+            return
+        base = target.value.value
+        if isinstance(base, ast.Name) and base.id == "self":
+            return
+        self._emit(
+            "code/adhoc-metrics",
+            node,
+            f"{_dotted(target) or target.attr}",
+            "mutating another object's .stats bypasses repro.obs; "
+            "emit through the observer hooks (db.obs / disk.observer) "
+            "so span deltas and metric totals stay reconciled",
+        )
+
     # -- comparisons --------------------------------------------------
     def visit_Compare(self, node: ast.Compare) -> None:
         operands = [node.left, *node.comparators]
@@ -264,6 +319,7 @@ def lint_source(
     source: str,
     filename: str = "<string>",
     in_storage: bool = False,
+    in_obs: bool = False,
 ) -> List[Finding]:
     """Lint one module's source text; returns surviving findings."""
     try:
@@ -279,7 +335,9 @@ def lint_source(
                 line=exc.lineno,
             )
         ]
-    visitor = _Visitor(filename=filename, in_storage=in_storage)
+    visitor = _Visitor(
+        filename=filename, in_storage=in_storage, in_obs=in_obs
+    )
     visitor.visit(tree)
     allowed = _allowed_rules(source.splitlines())
     return [f for f in visitor.findings if not _suppressed(f, allowed)]
@@ -296,11 +354,13 @@ def lint_tree(root: Path) -> List[Finding]:
     for path in sorted(root.rglob("*.py")):
         rel = path.relative_to(root)
         in_storage = "storage" in rel.parts[:-1]
+        in_obs = "obs" in rel.parts[:-1]
         findings.extend(
             lint_source(
                 path.read_text(),
                 filename=str(rel),
                 in_storage=in_storage,
+                in_obs=in_obs,
             )
         )
     return findings

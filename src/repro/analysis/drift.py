@@ -1,0 +1,131 @@
+"""Estimate-vs-actual drift over the planner self-check corpus.
+
+The planner's cost formulas exist to place the horizontal/vertical
+crossover where the executors actually put it; an estimate that drifts
+far from measurement moves the crossover and silently picks the wrong
+plan.  This module executes every :data:`repro.analysis.selfcheck.CASES`
+plan on its case database and compares ``plan.estimated_ms`` with the
+measured simulated time.
+
+``ACCEPTED_DRIFT`` lists the cases where a >2x gap is *understood* and
+documented (see ``docs/cost_model.md``, "Known estimate gaps") rather
+than a formula bug; the pytest gate fails on any other case drifting
+past 2x in either direction, so new gaps must be fixed or explicitly
+accepted here and documented there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.selfcheck import CASES, _build_case_db
+from repro.core.executor import bulk_delete
+from repro.core.planner import choose_plan
+
+#: case name -> short reason, mirrored in docs/cost_model.md.
+ACCEPTED_DRIFT: Dict[str, str] = {
+    "hash-overflow-fallback": (
+        "4 KiB buffer: eviction write-backs interleave across files, "
+        "turning sequential sweeps into random I/O the single-stream "
+        "sweep model undercounts (~2.2x)"
+    ),
+    "tight-memory-unique": (
+        "same sub-working-set buffer effect as hash-overflow-fallback "
+        "(~2x); plan choice is unaffected — vertical still wins"
+    ),
+}
+
+#: Estimates within this factor of measurement (either direction) pass.
+MAX_RATIO = 2.0
+
+
+@dataclass
+class DriftRecord:
+    """One corpus case: what the planner said vs what the run cost."""
+
+    case: str
+    strategy: str  # 'horizontal' | 'vertical'
+    estimated_ms: float
+    actual_ms: float
+
+    @property
+    def ratio(self) -> float:
+        """actual / estimated; 1.0 is a perfect estimate."""
+        if self.estimated_ms <= 0:
+            return float("inf")
+        return self.actual_ms / self.estimated_ms
+
+    @property
+    def within(self) -> bool:
+        return 1.0 / MAX_RATIO <= self.ratio <= MAX_RATIO
+
+    def render(self) -> str:
+        flag = "ok" if self.within else (
+            "accepted" if self.case in ACCEPTED_DRIFT else "DRIFT"
+        )
+        return (
+            f"{self.case:<24} {self.strategy:<10} "
+            f"est {self.estimated_ms:>9.1f} ms  "
+            f"act {self.actual_ms:>9.1f} ms  "
+            f"x{self.ratio:>5.2f}  {flag}"
+        )
+
+
+def measure_drift() -> List[DriftRecord]:
+    """Execute each self-check case and record estimate vs actual."""
+    records: List[DriftRecord] = []
+    for case in CASES:
+        db = _build_case_db(case)
+        keys = list(range(case.n_deletes))
+        plan = choose_plan(
+            db,
+            "R",
+            "A",
+            len(keys),
+            prefer_method=case.prefer_method,
+            force_vertical=case.force_vertical,
+        )
+        start_ms = db.clock.now_ms
+        bulk_delete(db, "R", "A", keys, plan=plan)
+        actual_ms = db.clock.now_ms - start_ms
+        strategy = (
+            "horizontal"
+            if plan.table_step().method.value == "nested-loops"
+            else "vertical"
+        )
+        records.append(
+            DriftRecord(
+                case=case.name,
+                strategy=strategy,
+                estimated_ms=plan.estimated_ms or 0.0,
+                actual_ms=actual_ms,
+            )
+        )
+    return records
+
+
+def unexplained_drift(
+    records: List[DriftRecord],
+) -> List[DriftRecord]:
+    """Cases outside the band and not in :data:`ACCEPTED_DRIFT`."""
+    return [
+        r for r in records
+        if not r.within and r.case not in ACCEPTED_DRIFT
+    ]
+
+
+def format_drift_report(records: List[DriftRecord]) -> str:
+    lines = ["planner estimate vs measured (self-check corpus):"]
+    lines += [f"  {r.render()}" for r in records]
+    bad = unexplained_drift(records)
+    lines.append(
+        f"  {len(records) - len(bad)}/{len(records)} within "
+        f"{MAX_RATIO:.0f}x"
+        + ("" if not bad else f"; {len(bad)} UNEXPLAINED")
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - convenience
+    print(format_drift_report(measure_drift()))

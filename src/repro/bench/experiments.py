@@ -17,7 +17,8 @@ from repro.workload.generator import Workload, WorkloadConfig, build_workload
 DEFAULT_RECORDS = 20_000
 
 
-def figure_1(record_count: int = DEFAULT_RECORDS) -> Series:
+def figure_1(record_count: int = DEFAULT_RECORDS,
+             observe: bool = True) -> Series:
     """Intro figure: commercial RDBMS behaviour, 3 indexes, 1-15 %.
 
     The "commercial product" is approximated by the traditional
@@ -38,19 +39,22 @@ def figure_1(record_count: int = DEFAULT_RECORDS) -> Series:
             memory_paper_mb=10.0,
         )
         series.rows["not sorted/trad"].append(
-            run_approach("not sorted/trad", config, pct / 100.0)
+            run_approach("not sorted/trad", config, pct / 100.0,
+                         observe=observe)
         )
         # A commercial system creates indexes efficiently (sort + bulk
         # load); the prototype-style "insert" rebuild is Figure 8's story.
         series.rows["drop&create"].append(
             run_approach(
-                "drop&create", config, pct / 100.0, dc_create_method="bulk"
+                "drop&create", config, pct / 100.0,
+                dc_create_method="bulk", observe=observe,
             )
         )
     return series
 
 
-def figure_7(record_count: int = DEFAULT_RECORDS) -> Series:
+def figure_7(record_count: int = DEFAULT_RECORDS,
+             observe: bool = True) -> Series:
     """Experiment 1: vary deleted fraction; 1 unclustered index, 5 MB."""
     return sweep(
         title="Figure 7: vary deletes, 1 unclustered index, 5 MB memory",
@@ -63,10 +67,12 @@ def figure_7(record_count: int = DEFAULT_RECORDS) -> Series:
             memory_paper_mb=5.0,
         ),
         make_fraction=lambda pct: pct / 100.0,
+        observe=observe,
     )
 
 
-def figure_8(record_count: int = DEFAULT_RECORDS) -> Series:
+def figure_8(record_count: int = DEFAULT_RECORDS,
+             observe: bool = True) -> Series:
     """Experiment 2: vary number of indexes; 15 % deletes."""
     index_sets = {1: ("A",), 2: ("A", "B"), 3: ("A", "B", "C")}
     series = sweep(
@@ -80,6 +86,7 @@ def figure_8(record_count: int = DEFAULT_RECORDS) -> Series:
             memory_paper_mb=5.0,
         ),
         make_fraction=lambda n: 0.15,
+        observe=observe,
     )
     # drop & create needs at least one secondary index to drop, so it
     # is swept separately (its 1-index point is still defined: there is
@@ -92,12 +99,13 @@ def figure_8(record_count: int = DEFAULT_RECORDS) -> Series:
             memory_paper_mb=5.0,
         )
         series.rows["drop&create"].append(
-            run_approach("drop&create", config, 0.15)
+            run_approach("drop&create", config, 0.15, observe=observe)
         )
     return series
 
 
-def table_1(record_count: int = DEFAULT_RECORDS) -> Series:
+def table_1(record_count: int = DEFAULT_RECORDS,
+            observe: bool = True) -> Series:
     """Experiment 3: index height 3 vs 4; 15 % deletes, 5 MB memory."""
     series = Series(
         title="Table 1: vary index height, 1 unclustered index, 15% deletes",
@@ -116,12 +124,13 @@ def table_1(record_count: int = DEFAULT_RECORDS) -> Series:
         )
         for approach in approaches:
             series.rows[approach].append(
-                run_approach(approach, config, 0.15)
+                run_approach(approach, config, 0.15, observe=observe)
             )
     return series
 
 
-def figure_9(record_count: int = DEFAULT_RECORDS) -> Series:
+def figure_9(record_count: int = DEFAULT_RECORDS,
+             observe: bool = True) -> Series:
     """Experiment 4: vary main memory; 1 unclustered index, 15 %.
 
     The workload is run at twice the base scale with a lower memory
@@ -142,10 +151,12 @@ def figure_9(record_count: int = DEFAULT_RECORDS) -> Series:
             memory_floor_pages=8,
         ),
         make_fraction=lambda mb: 0.15,
+        observe=observe,
     )
 
 
-def figure_10(record_count: int = DEFAULT_RECORDS) -> Series:
+def figure_10(record_count: int = DEFAULT_RECORDS,
+              observe: bool = True) -> Series:
     """Experiment 5: clustered index I_A; vary deleted fraction."""
     series = Series(
         title="Figure 10: clustered index, 1 index, 5 MB memory",
@@ -172,16 +183,20 @@ def figure_10(record_count: int = DEFAULT_RECORDS) -> Series:
     for pct in series.x_values:
         fraction = pct / 100.0
         series.rows["sorted/trad/clust"].append(
-            run_approach("sorted/trad", clustered(), fraction)
+            run_approach("sorted/trad", clustered(), fraction,
+                         observe=observe)
         )
         series.rows["sorted/trad/unclust"].append(
-            run_approach("sorted/trad", unclustered(), fraction)
+            run_approach("sorted/trad", unclustered(), fraction,
+                         observe=observe)
         )
         series.rows["not sorted/trad/clust"].append(
-            run_approach("not sorted/trad", clustered(), fraction)
+            run_approach("not sorted/trad", clustered(), fraction,
+                         observe=observe)
         )
         series.rows["bulk"].append(
-            run_approach("bulk", clustered(), fraction)
+            run_approach("bulk", clustered(), fraction,
+                         observe=observe)
         )
     return series
 

@@ -36,6 +36,9 @@ class RunResult:
     io: DiskStats
     wall_seconds: float
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Root :class:`repro.obs.trace.Span` covering the run, captured
+    #: when the harness was asked to ``observe``; ``None`` otherwise.
+    trace: Optional[object] = None
 
     @property
     def sim_minutes(self) -> float:
@@ -49,11 +52,16 @@ def run_approach(
     workload: Optional[Workload] = None,
     options: Optional[BulkDeleteOptions] = None,
     dc_create_method: str = "insert",
+    observe: bool = False,
 ) -> RunResult:
     """Build (or reuse) the workload and execute one approach.
 
     Every run gets a fresh database unless ``workload`` is supplied —
     deletes are destructive, so reuse is only safe for a single run.
+
+    With ``observe=True`` an observer is attached for the duration and
+    the run's root span lands in :attr:`RunResult.trace` — observation
+    is read-only, so the simulated cost is identical either way.
     """
     if approach not in APPROACHES:
         raise ValueError(f"unknown approach {approach!r}")
@@ -61,6 +69,14 @@ def run_approach(
     keys = wl.delete_keys(fraction)
     wl.reset_measurements()
     db = wl.db
+    observer = db.observe() if observe else None
+    run_span = (
+        observer.span(approach, kind="run", target="R")
+        if observer is not None
+        else None
+    )
+    if run_span is not None:
+        run_span.__enter__()
     # RunResult.wall_seconds deliberately reports *host* time next to
     # the simulated clock — it never feeds a cost result.
     wall_start = time.perf_counter()  # lint: allow(wall-clock)
@@ -97,6 +113,12 @@ def run_approach(
         extra["delete_minutes"] = dc.delete_ms / 60000.0
         extra["recreate_minutes"] = dc.recreate_ms / 60000.0
     wall = time.perf_counter() - wall_start  # lint: allow(wall-clock)
+    trace = None
+    if run_span is not None:
+        run_span.set(records_deleted=deleted)
+        run_span.__exit__(None, None, None)
+        trace = run_span.span
+        db.unobserve()
     sim_seconds = db.clock.now_seconds
     return RunResult(
         approach=approach,
@@ -107,6 +129,7 @@ def run_approach(
         io=db.disk.stats.snapshot(),
         wall_seconds=wall,
         extra=extra,
+        trace=trace,
     )
 
 
@@ -134,6 +157,7 @@ def sweep(
     make_config: Callable[[object], WorkloadConfig],
     make_fraction: Callable[[object], float],
     options: Optional[BulkDeleteOptions] = None,
+    observe: bool = False,
 ) -> Series:
     """Run ``approaches`` over a parameter sweep, fresh DB per point."""
     series = Series(title=title, x_label=x_label, x_values=list(x_values))
@@ -144,6 +168,9 @@ def sweep(
         fraction = make_fraction(x)
         for approach in approaches:
             series.rows[approach].append(
-                run_approach(approach, config, fraction, options=options)
+                run_approach(
+                    approach, config, fraction,
+                    options=options, observe=observe,
+                )
             )
     return series

@@ -57,6 +57,56 @@ def paper_vs_measured(
     )
 
 
+def operator_breakdown(series: Series, x_index: int = -1) -> str:
+    """Per-operator cost breakdown for one sweep point of a series.
+
+    Uses the traces captured by ``run_approach(observe=True)`` (runs
+    without a trace are skipped).  Costs shown are *exclusive*
+    (``self_*``): each operator's own simulated time and page accesses,
+    children subtracted, so the rows of one approach sum to its run
+    totals exactly.
+    """
+    from repro.obs.trace import Span
+
+    x = series.x_values[x_index]
+    lines: List[str] = [
+        f"per-operator breakdown ({series.x_label} = {x}):"
+    ]
+    header = (
+        f"    {'operator':<42} {'self ms':>10} {'%':>7} "
+        f"{'reads':>7} {'writes':>7}"
+    )
+    found = False
+    for approach, runs in series.rows.items():
+        root = runs[x_index].trace
+        if not isinstance(root, Span):
+            continue
+        found = True
+        total_ms = root.elapsed_ms or 1.0
+        lines.append(f"  {approach}:")
+        lines.append(header)
+
+        def emit(span: Span, depth: int) -> None:
+            self_io = span.self_io
+            name = "  " * depth + span.name
+            lines.append(
+                f"    {name:<42} {span.self_ms:>10.1f} "
+                f"{span.self_ms / total_ms:>7.1%} "
+                f"{self_io.reads:>7} {self_io.writes:>7}"
+            )
+            for child in span.children:
+                emit(child, depth + 1)
+
+        emit(root, 0)
+        lines.append(
+            f"    {'total':<42} {root.elapsed_ms:>10.1f} "
+            f"{'100.0%':>7} {root.io.reads:>7} {root.io.writes:>7}"
+        )
+    if not found:
+        return ""
+    return "\n".join(lines)
+
+
 def shape_checks(series: Series) -> List[str]:
     """Human-readable assertions about the curve shapes.
 

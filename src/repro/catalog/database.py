@@ -41,6 +41,10 @@ class Database:
         self.pool = BufferPool.with_byte_budget(self.disk, memory_bytes)
         self.memory_bytes = memory_bytes
         self.catalog = Catalog()
+        #: Attached :class:`repro.obs.observer.Observer`, or ``None``
+        #: (the default: no tracing, no metrics, no overhead).  Use
+        #: :meth:`observe` / ``repro.obs.observed(db)`` to manage it.
+        self.obs: Optional[object] = None
 
     @property
     def clock(self) -> SimClock:
@@ -293,6 +297,22 @@ class Database:
                 report["leaves_merged"] += merge_underfull_leaves(index.tree)
         self.flush()
         return report
+
+    def observe(self) -> object:
+        """Attach and return a fresh observer (``repro.obs``).
+
+        Tracing stays on until :meth:`unobserve`; prefer the
+        ``repro.obs.observed(db)`` context manager for scoped use.
+        """
+        from repro.obs.observer import Observer
+
+        return Observer.attach(self)
+
+    def unobserve(self) -> Optional[object]:
+        """Detach and return the current observer, if any."""
+        from repro.obs.observer import Observer
+
+        return Observer.detach(self)
 
     def flush(self) -> None:
         """Write every dirty buffered page back to the simulated disk."""

@@ -10,6 +10,9 @@ Commands:
   ``figure_10``, or ``all``),
 * ``demo`` — a one-minute tour: build a workload, show the plan, run
   the bulk delete and the traditional baseline,
+* ``trace`` — run a traced bulk delete (a generated workload, or the
+  planner self-check corpus with ``--selfcheck``) and export the
+  per-operator spans as JSON (``docs/trace_schema.json``) or text,
 * ``lint`` (alias ``analysis``) — run the static checkers of
   :mod:`repro.analysis`: the simulation-invariant code lint over the
   package and the plan linter over representative planner output.
@@ -132,6 +135,81 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.executor import bulk_delete
+    from repro.obs.explain import render_trace
+    from repro.obs.export import export_document, trace_entry
+    from repro.obs.observer import observed
+    from repro.obs.trace import Span
+
+    entries = []
+    roots = []
+    if args.selfcheck:
+        # Execute the planner self-check corpus end-to-end: one trace
+        # per case.  CI pipes the JSON through repro.obs.schema.
+        from repro.analysis.selfcheck import CASES, _build_case_db
+
+        workload = {"corpus": "planner-selfcheck", "cases": len(CASES)}
+        for case in CASES:
+            db = _build_case_db(case)
+            with observed(db) as obs:
+                bulk_delete(
+                    db,
+                    "R",
+                    "A",
+                    list(range(case.n_deletes)),
+                    prefer_method=case.prefer_method,
+                    force_vertical=case.force_vertical,
+                )
+                root = obs.tracer.root
+                assert isinstance(root, Span)
+                entries.append(
+                    trace_entry(case.name, root, obs.metrics.snapshot())
+                )
+                roots.append((case.name, root))
+    else:
+        from repro.workload.generator import WorkloadConfig, build_workload
+
+        config = WorkloadConfig(
+            record_count=args.records, index_columns=("A", "B", "C")
+        )
+        generated = build_workload(config)
+        keys = generated.delete_keys(args.fraction)
+        workload = {
+            "records": args.records,
+            "fraction": args.fraction,
+            "n_deletes": len(keys),
+        }
+        db = generated.db
+        with observed(db) as obs:
+            bulk_delete(db, "R", "A", keys, force_vertical=True)
+            root = obs.tracer.root
+            assert isinstance(root, Span)
+            entries.append(
+                trace_entry("bulk-delete", root, obs.metrics.snapshot())
+            )
+            roots.append(("bulk-delete", root))
+
+    if args.format == "json":
+        text = json.dumps(
+            export_document(entries, workload=workload), indent=2
+        )
+    else:
+        blocks = []
+        for label, root in roots:
+            blocks.append(f"== {label} ==\n" + render_trace(root))
+        text = "\n\n".join(blocks)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(entries)} trace(s) to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.__main__ import main as analysis_main
 
@@ -172,6 +250,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_demo = sub.add_parser("demo", help="one-minute guided tour")
     p_demo.add_argument("--records", type=int, default=5000)
     p_demo.set_defaults(func=_cmd_demo)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a traced bulk delete and export per-operator spans",
+    )
+    p_trace.add_argument("--selfcheck", action="store_true",
+                         help="trace the planner self-check corpus "
+                         "instead of a generated workload")
+    p_trace.add_argument("--records", type=int, default=2000,
+                         help="workload size (ignored with --selfcheck)")
+    p_trace.add_argument("--fraction", type=float, default=0.15,
+                         help="fraction of records to delete")
+    p_trace.add_argument("--format", choices=("json", "text"),
+                         default="json")
+    p_trace.add_argument("--out", default=None,
+                         help="write to a file instead of stdout")
+    p_trace.set_defaults(func=_cmd_trace)
 
     for lint_name in ("lint", "analysis"):
         p_lint = sub.add_parser(

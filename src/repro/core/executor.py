@@ -35,6 +35,7 @@ from repro.core.plans import (
     StepPlan,
 )
 from repro.errors import PlanningError, PlanValidationError
+from repro.obs.trace import maybe_span
 from repro.query.hashtable import BoundedHashSet, HashTableOverflowError
 from repro.query.sort import ExternalSorter
 from repro.storage.disk import DiskStats
@@ -68,6 +69,9 @@ class BulkDeleteResult:
     elapsed_ms: float = 0.0
     io: Optional[DiskStats] = None
     heap_pages_reclaimed: int = 0
+    #: Root :class:`repro.obs.trace.Span` of the execution, when an
+    #: observer was attached to the database (``None`` otherwise).
+    trace: Optional[object] = None
 
     @property
     def elapsed_seconds(self) -> float:
@@ -145,71 +149,152 @@ def execute_plan(
     start_ms = db.clock.now_ms
     io_before = db.disk.stats.snapshot()
     result = BulkDeleteResult(plan=plan)
+    obs = db.obs
 
-    # --- delete keys, sorted once, drive the first bd -----------------
-    sorter = ExternalSorter(db.disk, db.memory_bytes, width=1)
-    sorted_keys = [k for (k,) in sorter.sort((k,) for k in keys)]
-
-    rid_list, driving_result = _produce_rid_list(
-        db, table, plan, sorted_keys, options
-    )
-    if driving_result is not None:
-        result.step_results.append(driving_result)
-
-    # --- RID ordering for the base-table sweep ------------------------
-    if plan.sort_rid_list:
-        rid_sorter = ExternalSorter(db.disk, db.memory_bytes, width=1)
-        rid_list = [r for (r,) in rid_sorter.sort((r,) for r in rid_list)]
-
-    # --- unique indexes before the table (RID probes) -----------------
-    for step in plan.steps_before_table():
-        if step.target == plan.driving_index:
-            continue
-        index = table.index(step.target)
-        rid_set = BoundedHashSet(db.memory_bytes).build(rid_list)
-        result.step_results.append(
-            bd_index_hash_probe(
-                index.tree, rid_set, db.disk, compact=options.compact_leaves
+    with maybe_span(
+        obs,
+        f"bulk-delete {plan.table_name}",
+        kind="delete",
+        target=plan.table_name,
+        n_keys=len(keys),
+    ) as root:
+        # --- delete keys, sorted once, drive the first bd -------------
+        with maybe_span(
+            obs, "sort(delete keys)", kind="sort", target="D"
+        ) as sort_span:
+            sorter = ExternalSorter(db.disk, db.memory_bytes, width=1)
+            sorted_keys = [k for (k,) in sorter.sort((k,) for k in keys)]
+            sort_span.set(
+                tuples=sorter.stats.input_tuples,
+                runs=sorter.stats.runs,
+                spilled=sorter.stats.spilled,
             )
+
+        rid_list, driving_result = _produce_rid_list(
+            db, table, plan, sorted_keys, options
         )
+        if driving_result is not None:
+            result.step_results.append(driving_result)
 
-    # --- the base table ------------------------------------------------
-    table_step = plan.table_step()
-    if table_step.method is BdMethod.HASH:
-        rid_set = BoundedHashSet(db.memory_bytes).build(rid_list)
-        rows, table_result = bd_heap_hash_probe(table, rid_set, db.disk)
-    else:
-        rids = [RID.unpack(r) for r in rid_list]
-        rows, table_result = bd_heap_sorted_rids(
-            table, rids, db.disk, compact=options.compact_leaves
-        )
-    result.step_results.append(table_result)
-    result.records_deleted = len(rows)
+        # --- RID ordering for the base-table sweep --------------------
+        if plan.sort_rid_list:
+            with maybe_span(
+                obs, "sort(RID)", kind="sort", target=plan.table_name
+            ) as sort_span:
+                rid_sorter = ExternalSorter(db.disk, db.memory_bytes, width=1)
+                rid_list = [
+                    r for (r,) in rid_sorter.sort((r,) for r in rid_list)
+                ]
+                sort_span.set(
+                    tuples=rid_sorter.stats.input_tuples,
+                    runs=rid_sorter.stats.runs,
+                    spilled=rid_sorter.stats.spilled,
+                )
 
-    # --- remaining indexes, fed by projections of the deleted rows ----
-    for step in plan.steps_after_table():
-        index = table.index(step.target)
-        result.step_results.append(
-            _run_index_step(db, table, index, step, rows, rid_list, options)
-        )
+        # --- unique indexes before the table (RID probes) -------------
+        for step in plan.steps_before_table():
+            if step.target == plan.driving_index:
+                continue
+            index = table.index(step.target)
+            with maybe_span(
+                obs,
+                f"bd[hash/rid] {step.target}",
+                kind="bd",
+                target=step.target,
+            ) as span:
+                rid_set = BoundedHashSet(db.memory_bytes).build(rid_list)
+                step_result = bd_index_hash_probe(
+                    index.tree, rid_set, db.disk,
+                    compact=options.compact_leaves,
+                )
+                _note_bd(span, step_result)
+            result.step_results.append(step_result)
 
-    # --- non-B-tree indexes: "updated in the traditional way" (§5) ----
-    for index in table.hash_indexes():
-        hash_result = BdResult(structure=index.name)
-        for rid, values in rows:
-            key = index.key_for(values, table.schema)
-            if index.hash_index.delete(key, rid.pack()):
-                hash_result.deleted.append((key, rid.pack()))
-        db.disk.charge_cpu_records(len(rows))
-        result.step_results.append(hash_result)
+        # --- the base table --------------------------------------------
+        table_step = plan.table_step()
+        with maybe_span(
+            obs,
+            f"bd[{table_step.method.value}/rid] {plan.table_name}",
+            kind="bd",
+            target=plan.table_name,
+        ) as span:
+            if table_step.method is BdMethod.HASH:
+                rid_set = BoundedHashSet(db.memory_bytes).build(rid_list)
+                rows, table_result = bd_heap_hash_probe(
+                    table, rid_set, db.disk
+                )
+            else:
+                rids = [RID.unpack(r) for r in rid_list]
+                rows, table_result = bd_heap_sorted_rids(
+                    table, rids, db.disk, compact=options.compact_leaves
+                )
+            _note_bd(span, table_result)
+            span.set(records_deleted=len(rows))
+        result.step_results.append(table_result)
+        result.records_deleted = len(rows)
 
-    if options.reclaim_heap_pages:
-        result.heap_pages_reclaimed = table.heap.reclaim_empty_pages()
-    if options.flush_at_end:
-        db.flush()
+        # --- remaining indexes, fed by projections of deleted rows ----
+        for step in plan.steps_after_table():
+            index = table.index(step.target)
+            with maybe_span(
+                obs,
+                f"bd[{step.method.value}/{step.predicate.value}] "
+                f"{step.target}",
+                kind="bd",
+                target=step.target,
+            ) as span:
+                step_result = _run_index_step(
+                    db, table, index, step, rows, rid_list, options
+                )
+                _note_bd(span, step_result)
+            result.step_results.append(step_result)
+
+        # --- non-B-tree indexes: "updated in the traditional way" (§5)
+        for index in table.hash_indexes():
+            with maybe_span(
+                obs,
+                f"hash-index {index.name}",
+                kind="bd",
+                target=index.name,
+            ) as span:
+                hash_result = BdResult(structure=index.name)
+                for rid, values in rows:
+                    key = index.key_for(values, table.schema)
+                    if index.hash_index.delete(key, rid.pack()):
+                        hash_result.deleted.append((key, rid.pack()))
+                db.disk.charge_cpu_records(len(rows))
+                _note_bd(span, hash_result)
+            result.step_results.append(hash_result)
+
+        if options.reclaim_heap_pages:
+            with maybe_span(
+                obs,
+                f"reclaim({plan.table_name})",
+                kind="maintenance",
+                target=plan.table_name,
+            ) as span:
+                result.heap_pages_reclaimed = (
+                    table.heap.reclaim_empty_pages()
+                )
+                span.set(pages_reclaimed=result.heap_pages_reclaimed)
+        if options.flush_at_end:
+            with maybe_span(obs, "flush", kind="flush"):
+                db.flush()
+        root.set(records_deleted=result.records_deleted)
     result.elapsed_ms = db.clock.now_ms - start_ms
     result.io = db.disk.stats.delta_since(io_before)
+    result.trace = getattr(root, "span", None)
     return result
+
+
+def _note_bd(span: object, bd_result: BdResult) -> None:
+    """Copy one ``bd`` primitive's own counters onto its span."""
+    span.set(  # type: ignore[attr-defined]
+        entries_deleted=bd_result.deleted_count,
+        pages_visited=bd_result.pages_visited,
+        pages_freed=bd_result.pages_freed,
+        partitions=bd_result.partitions,
+    )
 
 
 def _produce_rid_list(
@@ -225,35 +310,52 @@ def _produce_rid_list(
     index's own key); without one, a sequential table scan finds the
     victims (their RIDs arrive in physical order for free).
     """
+    obs = db.obs
     if plan.driving_index is not None:
         index = table.index(plan.driving_index)
         pairs = [(k, 0) for k in sorted_keys]
-        if options.base_node_reorg:
-            from repro.core.reorg import sweep_with_base_node_reorg
+        with maybe_span(
+            obs,
+            f"bd[sort-merge/key] {plan.driving_index}",
+            kind="bd",
+            target=plan.driving_index,
+            driving=True,
+        ) as span:
+            if options.base_node_reorg:
+                from repro.core.reorg import sweep_with_base_node_reorg
 
-            bd_result = sweep_with_base_node_reorg(
-                index.tree, pairs, db.disk, match_rid=False
-            )
-        else:
-            bd_result = bd_index_sort_merge(
-                index.tree,
-                pairs,
-                db.disk,
-                match_rid=False,
-                compact=options.compact_leaves,
-            )
+                bd_result = sweep_with_base_node_reorg(
+                    index.tree, pairs, db.disk, match_rid=False
+                )
+            else:
+                bd_result = bd_index_sort_merge(
+                    index.tree,
+                    pairs,
+                    db.disk,
+                    match_rid=False,
+                    compact=options.compact_leaves,
+                )
+            _note_bd(span, bd_result)
         return [rid for _, rid in bd_result.deleted], bd_result
     key_set: Set[int] = set(sorted_keys)
     column_idx = table.schema.column_index(plan.column)
     rid_list: List[int] = []
     scan_result = BdResult(structure=f"{table.name} (scan)")
-    for page_id, records in table.heap.scan_pages():
-        scan_result.pages_visited += 1
-        db.disk.charge_cpu_records(len(records))
-        for slot, payload in records:
-            values = table.serializer.unpack(payload)
-            if values[column_idx] in key_set:
-                rid_list.append(RID(page_id, slot).pack())
+    with maybe_span(
+        obs,
+        f"scan({table.name})",
+        kind="scan",
+        target=table.name,
+        emits="RID list",
+    ) as span:
+        for page_id, records in table.heap.scan_pages():
+            scan_result.pages_visited += 1
+            db.disk.charge_cpu_records(len(records))
+            for slot, payload in records:
+                values = table.serializer.unpack(payload)
+                if values[column_idx] in key_set:
+                    rid_list.append(RID(page_id, slot).pack())
+        _note_bd(span, scan_result)
     return rid_list, scan_result
 
 
@@ -295,8 +397,17 @@ def _run_index_step(
     pairs = _project_pairs(table, index, rows)
     clustered_feed = index.clustered
     if not clustered_feed:
-        sorter = ExternalSorter(db.disk, db.memory_bytes, width=2)
-        pairs = list(sorter.sort(pairs))
+        with maybe_span(
+            db.obs, f"sort(key,RID) {index.name}", kind="sort",
+            target=index.name,
+        ) as span:
+            sorter = ExternalSorter(db.disk, db.memory_bytes, width=2)
+            pairs = list(sorter.sort(pairs))
+            span.set(
+                tuples=sorter.stats.input_tuples,
+                runs=sorter.stats.runs,
+                spilled=sorter.stats.spilled,
+            )
     else:
         pairs = sorted(pairs)  # already nearly ordered; cheap
     if options.base_node_reorg:
@@ -366,5 +477,6 @@ def bulk_delete(
             step_results=[],
             elapsed_ms=trad.elapsed_ms,
             io=trad.io,
+            trace=trad.trace,
         )
     return execute_plan(db, plan, keys, options, validate=validate)

@@ -63,13 +63,20 @@ def estimate_horizontal_ms(
     if presorted:
         # Driving-index leaves in order (sequential-ish); heap and the
         # other indexes' leaves remain random.
-        per_record = random_ms * (1 + (index_count - 1)) + seq_ms
+        read_ms = random_ms * (1 + (index_count - 1)) + seq_ms
     else:
         # Re-fetches everywhere once the pool thrashes.
-        per_record = random_ms * (1 + index_count)
-    io_ms = n_deletes * per_record
+        read_ms = random_ms * (1 + index_count)
+    # Every touched page is dirtied and eventually written back; the
+    # write-backs land scattered (eviction order), so they cost like
+    # the reads did.
+    per_record = 2 * read_ms
+    # Write-back streams restart once per structure at flush time: one
+    # random positioning each for the heap and every index file.
+    flush_ms = (index_count + 1) * random_ms
+    io_ms = n_deletes * per_record + flush_ms
     return CostBreakdown("horizontal", io_ms, f"{n_deletes} records x "
-                         f"{per_record:.2f}ms")
+                         f"{per_record:.2f}ms + flush")
 
 
 def estimate_vertical_ms(
@@ -82,11 +89,18 @@ def estimate_vertical_ms(
     """
     params = db.disk.parameters
     seq_ms = params.sequential_ms(db.page_size)
+    random_ms = params.random_ms(db.page_size)
     stats = collect_table_statistics(table)
     heap_pages = stats.heap_pages
     leaf_pages = stats.total_leaf_pages()
     # Read + write back each swept page (writes are also sequential).
     sweep_ms = (heap_pages + leaf_pages) * seq_ms * 2
+    # The executor's default heap-reclaim pass sweeps the heap again.
+    reclaim_ms = heap_pages * seq_ms * 2
+    # Each structure's read and write streams start with one random
+    # positioning (the heap plus every B-tree file).
+    structures = 1 + len(table.btree_indexes())
+    stream_ms = structures * 2 * random_ms
     sort_ms = 0.0
     if n_deletes > 1:
         passes = 1 + max(
@@ -108,7 +122,7 @@ def estimate_vertical_ms(
             * math.log2(n_deletes)
             * passes
         )
-    io_ms = sweep_ms + sort_ms
+    io_ms = sweep_ms + reclaim_ms + stream_ms + sort_ms
     return CostBreakdown(
         "vertical",
         io_ms,
@@ -146,10 +160,14 @@ def choose_plan(
         table_name=table_name,
         column=column,
         driving_index=driving.name if driving else None,
-        estimated_ms=min(horizontal.io_ms, vertical.io_ms),
         n_deletes=n_deletes,
     )
+    # The estimate must describe the plan actually chosen: under
+    # force_vertical the cheaper horizontal figure is not available,
+    # so min() of the two would report a cost no step of this plan
+    # can achieve (caught by the estimate-drift self-check).
     if not force_vertical and horizontal.io_ms < vertical.io_ms:
+        plan.estimated_ms = horizontal.io_ms
         plan.steps = [
             StepPlan(
                 TABLE_TARGET,
@@ -164,6 +182,7 @@ def choose_plan(
         )
         return plan
 
+    plan.estimated_ms = vertical.io_ms
     method = prefer_method or BdMethod.SORT_MERGE
     hash_fits = rid_hash_fits(db, n_deletes)
     if method is BdMethod.HASH and not hash_fits:

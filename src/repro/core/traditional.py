@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence
 
 from repro.catalog.database import Database
 from repro.errors import PlanningError
+from repro.obs.trace import maybe_span
 from repro.storage.disk import DiskStats
 from repro.storage.rid import RID
 
@@ -37,6 +38,8 @@ class TraditionalResult:
     io: Optional[DiskStats] = None
     presorted: bool = True
     keys_not_found: int = 0
+    #: Root span when an observer was attached (``None`` otherwise).
+    trace: Optional[object] = None
 
     @property
     def elapsed_seconds(self) -> float:
@@ -70,27 +73,48 @@ def traditional_delete(
     driving = candidates[0]
     start_ms = db.clock.now_ms
     io_before = db.disk.stats.snapshot()
-    work_keys: List[int] = list(keys)
-    if presort:
-        work_keys.sort()
-        if len(work_keys) > 1:
-            db.disk.charge_cpu_records(
-                len(work_keys), factor=0.5 * math.log2(len(work_keys))
-            )
+    obs = db.obs
     deleted = 0
     not_found = 0
-    for key in work_keys:
-        packed_rids = driving.tree.search(key)
-        if not packed_rids:
-            not_found += 1
-            continue
-        for packed in packed_rids:
-            # Horizontal processing: the record leaves the heap and every
-            # index before the next record is considered.
-            db.delete_record(table_name, RID.unpack(packed))
-            deleted += 1
-    if flush_at_end:
-        db.flush()
+    with maybe_span(
+        obs,
+        f"traditional-delete {table_name}",
+        kind="delete",
+        target=table_name,
+        n_keys=len(keys),
+        presorted=presort,
+    ) as root:
+        work_keys: List[int] = list(keys)
+        if presort:
+            with maybe_span(obs, "sort(delete keys)", kind="sort",
+                            target="D"):
+                work_keys.sort()
+                if len(work_keys) > 1:
+                    db.disk.charge_cpu_records(
+                        len(work_keys), factor=0.5 * math.log2(len(work_keys))
+                    )
+        with maybe_span(
+            obs,
+            f"nested-loops probe+delete via {driving.name}",
+            kind="bd",
+            target=driving.name,
+        ) as span:
+            for key in work_keys:
+                packed_rids = driving.tree.search(key)
+                if not packed_rids:
+                    not_found += 1
+                    continue
+                for packed in packed_rids:
+                    # Horizontal processing: the record leaves the heap
+                    # and every index before the next record is
+                    # considered.
+                    db.delete_record(table_name, RID.unpack(packed))
+                    deleted += 1
+            span.set(records_deleted=deleted, keys_not_found=not_found)
+        if flush_at_end:
+            with maybe_span(obs, "flush", kind="flush"):
+                db.flush()
+        root.set(records_deleted=deleted)
     return TraditionalResult(
         table_name=table_name,
         records_deleted=deleted,
@@ -98,4 +122,5 @@ def traditional_delete(
         io=db.disk.stats.delta_since(io_before),
         presorted=presort,
         keys_not_found=not_found,
+        trace=getattr(root, "span", None),
     )

@@ -1,0 +1,71 @@
+"""Execution observability: metrics, traces, and EXPLAIN ANALYZE.
+
+The paper's whole argument is about *which pages are touched in which
+order*; end-to-end simulated time alone cannot attribute a plan's cost
+to the operators that incurred it.  ``repro.obs`` is the measurement
+layer every performance claim goes through:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — hierarchical counters,
+  gauges and timers keyed on **simulated** time (never the wall clock),
+* :class:`~repro.obs.trace.Tracer` / :class:`~repro.obs.trace.Span` —
+  per-operator spans with simulated start/stop and the exact
+  :class:`~repro.storage.disk.DiskStats` /
+  :class:`~repro.storage.buffer.BufferStats` deltas each operator
+  caused, nested like the plan DAG,
+* :class:`~repro.obs.observer.Observer` — the facade the storage and
+  query layers report into.  ``Observer.attach(db)`` (or the
+  :func:`~repro.obs.observer.observed` context manager) switches a
+  database's instrumentation on; when nothing is attached every hook is
+  a single ``is None`` check and no counter exists at all.
+
+Surfaces:
+
+* ``EXPLAIN ANALYZE DELETE ...`` (SQL) /
+  :func:`~repro.obs.explain.explain_analyze` — runs the statement and
+  annotates the operator tree with measured costs next to the
+  planner's estimates,
+* ``python -m repro trace`` — JSON trace export (one span per
+  operator, nestable), validated by :mod:`repro.obs.schema`,
+* the bench harness records a trace per run so every report in
+  ``benchmarks/_reports/`` carries a per-operator cost breakdown.
+
+Observation is strictly read-only with respect to the simulation: no
+hook advances the :class:`~repro.storage.disk.SimClock` or touches a
+page, so enabling tracing never changes a simulated result.
+"""
+
+from repro.obs.export import export_document, trace_entry
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.observer import Observer, iter_spans, observed
+from repro.obs.schema import validate_trace
+from repro.obs.trace import NULL_SPAN, Span, Tracer, maybe_span
+
+
+def __getattr__(name: str) -> object:
+    # repro.obs.explain renders executor results, and the executor
+    # imports repro.obs.trace for its spans; loading explain lazily
+    # keeps that from becoming an import cycle.
+    if name in ("explain_analyze", "render_trace"):
+        from repro.obs import explain
+
+        return getattr(explain, name)
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "Timer",
+    "Observer",
+    "observed",
+    "iter_spans",
+    "trace_entry",
+    "export_document",
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "maybe_span",
+    "explain_analyze",
+    "render_trace",
+    "validate_trace",
+]

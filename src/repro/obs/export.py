@@ -1,0 +1,57 @@
+"""Building trace export documents (the ``repro trace`` JSON format).
+
+One document holds one or more labelled traces, each pairing a span
+tree with the metrics snapshot taken when it was captured.  The format
+is described by ``docs/trace_schema.json`` and enforced by
+:mod:`repro.obs.schema`; exporters validate their own output before
+emitting it so a drifting producer fails loudly, not in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.schema import SCHEMA_VERSION, validate_trace
+from repro.obs.trace import Span
+
+
+def trace_entry(
+    label: str,
+    span: Span,
+    metrics: Optional[Dict[str, float]] = None,
+) -> Dict[str, Any]:
+    """One labelled trace: the span tree plus derived totals."""
+    return {
+        "label": label,
+        "span": span.to_dict(),
+        "metrics": dict(metrics or {}),
+        "totals": {
+            "sim_time_ms": span.elapsed_ms,
+            "reads": span.io.reads,
+            "writes": span.io.writes,
+            "random_ios": span.io.random_ios,
+            "io_time_ms": span.io.io_time_ms,
+            "buffer_hit_ratio": span.buffer.hit_ratio,
+        },
+    }
+
+
+def export_document(
+    entries: List[Dict[str, Any]],
+    workload: Optional[Dict[str, Any]] = None,
+    generator: str = "repro trace",
+) -> Dict[str, Any]:
+    """Assemble and self-validate a full export document."""
+    doc: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "generator": generator,
+        "traces": entries,
+    }
+    if workload is not None:
+        doc["workload"] = workload
+    errors = validate_trace(doc)
+    if errors:
+        raise ValueError(
+            "trace export failed its own schema: " + "; ".join(errors)
+        )
+    return doc

@@ -1,0 +1,161 @@
+"""The :class:`Observer` facade: one attach point, many instruments.
+
+``Observer.attach(db)`` switches a database's instrumentation on:
+
+* the simulated disk reports every page access (kind, direction,
+  per-file stream) into the metrics registry,
+* the buffer pool reports hits, misses, evictions and dirty
+  write-backs,
+* external sorts report runs, spills and spill pages; spill files
+  report pages written and re-read,
+* the executors open per-operator :class:`~repro.obs.trace.Span`\\ s.
+
+Detached (the default — ``db.obs is None``), every hook site is a
+single attribute test and nothing is recorded anywhere; attaching
+never changes simulated results because the observer only *reads*
+the clock and the storage layer's own counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer, _OpenSpan
+from repro.query.sort import SortStats
+from repro.storage.disk import SimulatedDisk
+
+
+class Observer:
+    """Bundles the metrics registry and the tracer for one database."""
+
+    def __init__(self, disk: SimulatedDisk, pool: Optional[Any] = None) -> None:
+        self.disk = disk
+        self.pool = pool
+        self.metrics = MetricsRegistry(clock=disk.clock)
+        self.tracer = Tracer(disk, pool)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, db: Any) -> "Observer":
+        """Create an observer and wire it into ``db``'s layers.
+
+        Raises if one is already attached — nested observation would
+        double-count; use the existing ``db.obs`` instead.
+        """
+        if getattr(db, "obs", None) is not None:
+            raise RuntimeError("an Observer is already attached to this db")
+        observer = cls(db.disk, db.pool)
+        db.obs = observer
+        db.disk.observer = observer
+        return observer
+
+    @classmethod
+    def detach(cls, db: Any) -> Optional["Observer"]:
+        """Unwire and return the attached observer (or ``None``)."""
+        observer = getattr(db, "obs", None)
+        db.obs = None
+        db.disk.observer = None
+        return observer
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        kind: str = "op",
+        target: Optional[str] = None,
+        **attrs: Any,
+    ) -> _OpenSpan:
+        return self.tracer.span(name, kind=kind, target=target, **attrs)
+
+    @property
+    def root_span(self) -> Optional[Span]:
+        return self.tracer.root
+
+    # ------------------------------------------------------------------
+    # storage-layer hooks (called with tracing enabled only)
+    # ------------------------------------------------------------------
+    def on_disk_access(
+        self, file_id: int, kind: str, is_write: bool, cost_ms: float
+    ) -> None:
+        """One page access: ``kind`` is random/sequential/near_sequential."""
+        direction = "write" if is_write else "read"
+        m = self.metrics
+        m.counter(f"disk.{direction}.{kind}").inc()
+        m.counter(f"disk.{direction}s").inc()
+        m.timer("disk.io_ms").add_ms(cost_ms)
+        m.counter(f"disk.file.{file_id}.{direction}s").inc()
+
+    def on_page_alloc(self, file_id: int) -> None:
+        self.metrics.counter("disk.pages_allocated").inc()
+
+    def on_page_free(self, page_id: int) -> None:
+        self.metrics.counter("disk.pages_freed").inc()
+
+    def on_cpu(self, cost_ms: float) -> None:
+        self.metrics.timer("cpu.time_ms").add_ms(cost_ms)
+
+    def on_buffer_hit(self) -> None:
+        self.metrics.counter("buffer.hits").inc()
+
+    def on_buffer_miss(self) -> None:
+        self.metrics.counter("buffer.misses").inc()
+
+    def on_buffer_eviction(self, dirty: bool) -> None:
+        self.metrics.counter("buffer.evictions").inc()
+        if dirty:
+            self.metrics.counter("buffer.dirty_writebacks").inc()
+
+    def on_buffer_writeback(self) -> None:
+        self.metrics.counter("buffer.dirty_writebacks").inc()
+
+    # ------------------------------------------------------------------
+    # query-layer hooks
+    # ------------------------------------------------------------------
+    def on_sort(self, stats: SortStats) -> None:
+        """One finished run-generation phase of an external sort."""
+        m = self.metrics
+        m.counter("sort.sorts").inc()
+        m.counter("sort.input_tuples").inc(stats.input_tuples)
+        m.counter("sort.runs").inc(stats.runs)
+        if stats.spilled:
+            m.counter("sort.spilled_sorts").inc()
+            m.counter("sort.spill_pages").inc(stats.spill_pages)
+
+    def on_spill_write(self, pages: int = 1) -> None:
+        self.metrics.counter("spill.pages_written").inc(pages)
+
+    def on_spill_read(self, pages: int = 1) -> None:
+        self.metrics.counter("spill.pages_read").inc(pages)
+
+
+class observed:
+    """Context manager: attach an :class:`Observer` for the block.
+
+    ::
+
+        with observed(db) as obs:
+            bulk_delete(db, "R", "A", keys)
+        print(obs.root_span.elapsed_ms)
+    """
+
+    def __init__(self, db: Any) -> None:
+        self._db = db
+        self.observer: Optional[Observer] = None
+
+    def __enter__(self) -> Observer:
+        self.observer = Observer.attach(self._db)
+        return self.observer
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        Observer.detach(self._db)
+
+
+def iter_spans(observer: Observer) -> Iterator[Span]:
+    """Every span the observer collected, pre-order, all roots."""
+    for root in observer.tracer.roots:
+        yield from root.walk()

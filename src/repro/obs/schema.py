@@ -1,0 +1,222 @@
+"""Validation of exported trace documents (``repro trace --format json``).
+
+The authoritative, tool-friendly description of the format lives in
+``docs/trace_schema.json`` (JSON Schema draft-07).  This module is the
+runnable twin: a dependency-free validator enforcing the same
+constraints plus the *semantic* invariants a generic JSON Schema
+cannot express —
+
+* spans nest: every child interval lies within its parent's,
+* ``elapsed_ms`` is ``end_ms - start_ms`` and ``self_ms`` is the
+  elapsed time minus the children's,
+* inclusive I/O covers the children: no child's counter exceeds its
+  parent's, and ``self_io`` is exactly ``io`` minus the children's
+  (the reconciliation the accounting tests rely on).
+
+CI runs ``python -m repro trace --selfcheck`` through
+``python -m repro.obs.schema`` so the exporter and this contract
+cannot drift apart silently.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.obs.trace import BUFFER_FIELDS, IO_FIELDS
+
+SCHEMA_VERSION = 1
+
+#: Required numeric keys of a trace entry's ``totals`` object.
+TOTAL_FIELDS = (
+    "sim_time_ms",
+    "reads",
+    "writes",
+    "random_ios",
+    "io_time_ms",
+    "buffer_hit_ratio",
+)
+
+_EPS = 1e-6
+
+
+def _num(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_io(
+    io: Any, where: str, errors: List[str]
+) -> Optional[Dict[str, float]]:
+    if not isinstance(io, dict):
+        errors.append(f"{where}: io block must be an object")
+        return None
+    for field in IO_FIELDS:
+        if field not in io:
+            errors.append(f"{where}: io block missing {field!r}")
+        elif not _num(io[field]):
+            errors.append(f"{where}: io.{field} must be a number")
+    return io
+
+
+def validate_span(
+    span: Any, path: str = "span", errors: Optional[List[str]] = None
+) -> List[str]:
+    """Validate one span object (recursively); returns error strings."""
+    errors = [] if errors is None else errors
+    if not isinstance(span, dict):
+        errors.append(f"{path}: span must be an object")
+        return errors
+    if not isinstance(span.get("name"), str) or not span.get("name"):
+        errors.append(f"{path}: missing or empty 'name'")
+    if not isinstance(span.get("kind"), str):
+        errors.append(f"{path}: missing 'kind'")
+    target = span.get("target")
+    if target is not None and not isinstance(target, str):
+        errors.append(f"{path}: 'target' must be a string or null")
+    for field in ("start_ms", "end_ms", "elapsed_ms", "self_ms"):
+        if not _num(span.get(field)):
+            errors.append(f"{path}: {field!r} must be a number")
+            return errors
+    if span["end_ms"] + _EPS < span["start_ms"]:
+        errors.append(f"{path}: end_ms precedes start_ms")
+    if abs(span["elapsed_ms"] - (span["end_ms"] - span["start_ms"])) > _EPS:
+        errors.append(f"{path}: elapsed_ms != end_ms - start_ms")
+    io = _check_io(span.get("io"), path, errors)
+    self_io = _check_io(span.get("self_io"), f"{path}.self_io", errors)
+    buffer = span.get("buffer")
+    if not isinstance(buffer, dict):
+        errors.append(f"{path}: 'buffer' must be an object")
+    else:
+        for field in BUFFER_FIELDS:
+            if not _num(buffer.get(field)):
+                errors.append(f"{path}: buffer.{field} must be a number")
+    if not isinstance(span.get("attrs"), dict):
+        errors.append(f"{path}: 'attrs' must be an object")
+    children = span.get("children")
+    if not isinstance(children, list):
+        errors.append(f"{path}: 'children' must be an array")
+        return errors
+
+    child_elapsed = 0.0
+    child_io: Dict[str, float] = {field: 0.0 for field in IO_FIELDS}
+    for i, child in enumerate(children):
+        child_path = f"{path}.children[{i}]"
+        validate_span(child, child_path, errors)
+        if not isinstance(child, dict):
+            continue
+        if _num(child.get("start_ms")) and _num(child.get("end_ms")):
+            if child["start_ms"] + _EPS < span["start_ms"] or (
+                child["end_ms"] > span["end_ms"] + _EPS
+            ):
+                errors.append(
+                    f"{child_path}: child interval escapes its parent "
+                    "(spans must nest)"
+                )
+            child_elapsed += child["end_ms"] - child["start_ms"]
+        if isinstance(child.get("io"), dict):
+            for field in IO_FIELDS:
+                value = child["io"].get(field)
+                if _num(value):
+                    child_io[field] += value
+
+    if abs(span["self_ms"] - (span["elapsed_ms"] - child_elapsed)) > _EPS:
+        errors.append(
+            f"{path}: self_ms != elapsed_ms - sum(children elapsed)"
+        )
+    if io is not None and self_io is not None:
+        for field in IO_FIELDS:
+            inclusive = io.get(field)
+            exclusive = self_io.get(field)
+            if not (_num(inclusive) and _num(exclusive)):
+                continue
+            if inclusive + _EPS < child_io[field]:
+                errors.append(
+                    f"{path}: io.{field} smaller than its children's sum "
+                    "(inclusive counters must cover the children)"
+                )
+            if abs(exclusive - (inclusive - child_io[field])) > _EPS:
+                errors.append(
+                    f"{path}: self_io.{field} != io.{field} - "
+                    "sum(children io) (reconciliation broken)"
+                )
+    return errors
+
+
+def validate_trace(doc: Any) -> List[str]:
+    """Validate a whole export document; returns error strings."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document must be a JSON object"]
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {doc.get('schema_version')!r}"
+        )
+    if not isinstance(doc.get("generator"), str):
+        errors.append("'generator' must be a string")
+    if "workload" in doc and not isinstance(doc["workload"], dict):
+        errors.append("'workload' must be an object when present")
+    traces = doc.get("traces")
+    if not isinstance(traces, list):
+        errors.append("'traces' must be an array")
+        return errors
+    for i, entry in enumerate(traces):
+        where = f"traces[{i}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        if not isinstance(entry.get("label"), str) or not entry.get("label"):
+            errors.append(f"{where}: missing or empty 'label'")
+        metrics = entry.get("metrics")
+        if not isinstance(metrics, dict):
+            errors.append(f"{where}: 'metrics' must be an object")
+        else:
+            for name, value in metrics.items():
+                if not isinstance(name, str) or not _num(value):
+                    errors.append(
+                        f"{where}: metrics entries must map string "
+                        f"names to numbers (bad: {name!r})"
+                    )
+                    break
+        totals = entry.get("totals")
+        if not isinstance(totals, dict):
+            errors.append(f"{where}: 'totals' must be an object")
+        else:
+            for field in TOTAL_FIELDS:
+                if not _num(totals.get(field)):
+                    errors.append(
+                        f"{where}: totals.{field} must be a number"
+                    )
+        validate_span(entry.get("span"), f"{where}.span", errors)
+    return errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.obs.schema [trace.json ...]`` (or stdin)."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    failed = False
+    if not args:
+        docs = [("<stdin>", sys.stdin.read())]
+    else:
+        docs = [(name, open(name).read()) for name in args]
+    for name, text in docs:
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            print(f"{name}: not JSON: {exc}")
+            failed = True
+            continue
+        errors = validate_trace(doc)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{name}: {error}")
+        else:
+            spans = doc.get("traces", [])
+            print(f"{name}: ok ({len(spans)} trace(s))")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,247 @@
+"""Per-operator spans over the simulated clock and disk counters.
+
+A :class:`Span` covers one operator (one ``bd`` application, one sort,
+one flush...) and records, against **simulated** time:
+
+* when it started and stopped (``SimClock`` milliseconds),
+* the exact :class:`~repro.storage.disk.DiskStats` delta its subtree
+  caused (reads/writes split by random / sequential / near-sequential),
+* the buffer-pool hit/miss/eviction delta,
+* free-form attributes (records deleted, runs spilled, ...).
+
+Spans nest like the plan DAG: the *inclusive* cost of a span covers
+its children; the *exclusive* (``self_*``) cost subtracts them.  The
+root span's inclusive delta therefore equals the disk's grand totals
+over the traced region, and the sum of every span's exclusive delta
+reconciles with it exactly — the invariant the accounting tests pin.
+
+Spans measure by snapshotting counters the storage layer already
+maintains; opening or closing a span never advances the clock, so a
+traced run costs exactly what an untraced run costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.storage.buffer import BufferPool, BufferStats
+from repro.storage.disk import DiskStats, SimulatedDisk
+
+#: DiskStats fields exported into traces, in export order.
+IO_FIELDS = (
+    "reads",
+    "writes",
+    "random_reads",
+    "sequential_reads",
+    "near_sequential_reads",
+    "random_writes",
+    "sequential_writes",
+    "near_sequential_writes",
+    "pages_allocated",
+    "pages_freed",
+    "io_time_ms",
+)
+
+#: BufferStats fields exported into traces.
+BUFFER_FIELDS = ("hits", "misses", "evictions", "dirty_writebacks")
+
+
+def _io_dict(stats: DiskStats) -> Dict[str, float]:
+    return {name: getattr(stats, name) for name in IO_FIELDS}
+
+
+def _io_minus(a: DiskStats, b: DiskStats) -> DiskStats:
+    return a.delta_since(b)
+
+
+@dataclass
+class Span:
+    """One operator's measured interval (simulated time + I/O deltas)."""
+
+    name: str
+    kind: str = "op"
+    target: Optional[str] = None
+    start_ms: float = 0.0
+    end_ms: float = 0.0
+    io: DiskStats = field(default_factory=DiskStats)
+    buffer: BufferStats = field(default_factory=BufferStats)
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+    closed: bool = False
+
+    # -- annotation ----------------------------------------------------
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes (``records_deleted=...``); chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    # -- derived costs -------------------------------------------------
+    @property
+    def elapsed_ms(self) -> float:
+        """Inclusive simulated time (covers the children)."""
+        return self.end_ms - self.start_ms
+
+    @property
+    def self_ms(self) -> float:
+        """Exclusive simulated time (children subtracted)."""
+        return self.elapsed_ms - sum(c.elapsed_ms for c in self.children)
+
+    @property
+    def self_io(self) -> DiskStats:
+        """Exclusive I/O delta (children subtracted)."""
+        stats = self.io
+        for child in self.children:
+            stats = _io_minus(stats, child.io)
+        return stats
+
+    @property
+    def buffer_hit_ratio(self) -> float:
+        return self.buffer.hit_ratio
+
+    def walk(self) -> Iterator["Span"]:
+        """Pre-order traversal (self first)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    # -- export --------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (see ``docs/trace_schema.json``)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "elapsed_ms": self.elapsed_ms,
+            "self_ms": self.self_ms,
+            "io": _io_dict(self.io),
+            "self_io": _io_dict(self.self_io),
+            "buffer": {
+                name: getattr(self.buffer, name) for name in BUFFER_FIELDS
+            },
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _OpenSpan:
+    """Context manager produced by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "span", "_io_before", "_buffer_before")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+        self._io_before: Optional[DiskStats] = None
+        self._buffer_before: Optional[BufferStats] = None
+
+    def set(self, **attrs: Any) -> "_OpenSpan":
+        self.span.set(**attrs)
+        return self
+
+    def __enter__(self) -> "_OpenSpan":
+        tracer = self._tracer
+        self.span.start_ms = tracer.disk.clock.now_ms
+        self._io_before = tracer.disk.stats.snapshot()
+        if tracer.pool is not None:
+            self._buffer_before = tracer.pool.stats.snapshot()
+        tracer._push(self.span)
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        tracer = self._tracer
+        span = self.span
+        span.end_ms = tracer.disk.clock.now_ms
+        assert self._io_before is not None
+        span.io = tracer.disk.stats.delta_since(self._io_before)
+        if tracer.pool is not None and self._buffer_before is not None:
+            span.buffer = tracer.pool.stats.delta_since(self._buffer_before)
+        span.closed = True
+        tracer._pop(span)
+
+
+class _NullSpan:
+    """Shared do-nothing stand-in used when no observer is attached."""
+
+    __slots__ = ()
+    closed = False
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+def maybe_span(
+    observer: Optional[Any],
+    name: str,
+    kind: str = "op",
+    target: Optional[str] = None,
+    **attrs: Any,
+) -> Any:
+    """``observer.span(...)`` or the shared no-op when tracing is off.
+
+    The instrumented executors call this with ``db.obs`` (which is
+    ``None`` by default); the disabled path costs one ``is None`` test
+    and allocates nothing.
+    """
+    if observer is None:
+        return NULL_SPAN
+    return observer.span(name, kind=kind, target=target, **attrs)
+
+
+class Tracer:
+    """Builds the span tree for one traced region.
+
+    Spans opened while another span is open become its children; spans
+    opened at the top level are collected in :attr:`roots`.  The usual
+    pattern is one root span per statement (``bulk-delete R``) with one
+    child per operator.
+    """
+
+    def __init__(
+        self, disk: SimulatedDisk, pool: Optional[BufferPool] = None
+    ) -> None:
+        self.disk = disk
+        self.pool = pool
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(
+        self,
+        name: str,
+        kind: str = "op",
+        target: Optional[str] = None,
+        **attrs: Any,
+    ) -> _OpenSpan:
+        return _OpenSpan(
+            self, Span(name=name, kind=kind, target=target, attrs=dict(attrs))
+        )
+
+    @property
+    def root(self) -> Optional[Span]:
+        """The first root span (the usual single-statement case)."""
+        return self.roots[0] if self.roots else None
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} closed out of order; spans must nest"
+            )
+        self._stack.pop()

@@ -72,13 +72,21 @@ class ExternalSorter:
         if not runs:
             # Everything fit in memory: one in-memory "run", no I/O at all.
             self.stats.runs = 1
+            self._report()
             return iter(chunk)
         if chunk:
             runs.append(self._spill_run(chunk, presorted=True))
         self.stats.runs = len(runs)
         self.stats.spilled = True
         self.stats.spill_pages = sum(run.page_count for run in runs)
+        self._report()
         return self._merge(runs)
+
+    def _report(self) -> None:
+        """Publish run-generation stats to the attached observer."""
+        observer = self.disk.observer
+        if observer is not None:
+            observer.on_sort(self.stats)  # type: ignore[attr-defined]
 
     def _spill_run(
         self, chunk: List[IntTuple], presorted: bool = False

@@ -88,6 +88,8 @@ class SpillFile:
         # would only evict pages that *do* get re-read (§2.1's sorts
         # share memory with the pool, not frames).
         self.disk.write_page(page_id, bytes(data))  # lint: allow(raw-page-io)
+        if self.disk.observer is not None:
+            self.disk.observer.on_spill_write(1)  # type: ignore[attr-defined]
         self.page_ids.append(page_id)
         self._write_buffer = []
 
@@ -96,6 +98,8 @@ class SpillFile:
         self.seal()
         for page_id in self.page_ids:
             data = self.disk.read_page(page_id)  # lint: allow(raw-page-io)
+            if self.disk.observer is not None:
+                self.disk.observer.on_spill_read(1)  # type: ignore[attr-defined]
             (count,) = _COUNT.unpack_from(data, 0)
             offset = _COUNT.size
             for _ in range(count):

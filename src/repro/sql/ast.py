@@ -118,6 +118,9 @@ class Delete:
 @dataclass(frozen=True)
 class Explain:
     statement: "Statement"
+    #: ``EXPLAIN ANALYZE``: execute the statement and annotate the plan
+    #: with measured per-operator costs (the delete really happens).
+    analyze: bool = False
 
 
 Statement = Union[

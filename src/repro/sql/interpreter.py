@@ -68,7 +68,7 @@ class SqlSession:
     # ------------------------------------------------------------------
     def _run(self, stmt: ast.Statement) -> StatementResult:
         if isinstance(stmt, ast.Explain):
-            return self._explain(stmt.statement)
+            return self._explain(stmt.statement, analyze=stmt.analyze)
         if isinstance(stmt, ast.CreateTable):
             return self._create_table(stmt)
         if isinstance(stmt, ast.CreateIndex):
@@ -212,15 +212,36 @@ class SqlSession:
         )
         return StatementResult("update", affected=result.records_updated)
 
-    def _explain(self, stmt: ast.Statement) -> StatementResult:
+    def _explain(
+        self, stmt: ast.Statement, analyze: bool = False
+    ) -> StatementResult:
         if not isinstance(stmt, ast.Delete):
             raise SqlBindError("EXPLAIN supports DELETE statements only")
         keys = self._delete_keys(stmt)
         if keys is None:
+            if analyze:
+                raise SqlBindError(
+                    "EXPLAIN ANALYZE needs a bulk-eligible DELETE "
+                    "(an IN predicate over integer keys)"
+                )
             return StatementResult(
                 "explain", text="predicate scan + record-at-a-time delete"
             )
         column, key_values = keys
+        if analyze:
+            from repro.obs.explain import explain_analyze
+
+            text = explain_analyze(
+                self.db,
+                stmt.table,
+                column,
+                key_values,
+                options=self.bulk_delete_options,
+                force_vertical=self.force_vertical,
+            )
+            # The statement really executed; the deleted count is in
+            # the rendered text.
+            return StatementResult("explain", text=text)
         plan = choose_plan(
             self.db,
             stmt.table,

@@ -16,8 +16,8 @@ from repro.errors import SqlSyntaxError
 KEYWORDS = {
     "CREATE", "TABLE", "UNIQUE", "CLUSTERED", "INDEX", "ON", "DROP",
     "INSERT", "INTO", "VALUES", "SELECT", "FROM", "WHERE", "DELETE",
-    "IN", "INT", "CHAR", "AND", "EXPLAIN", "NOT", "ORDER", "BY",
-    "UPDATE", "SET", "COUNT",
+    "IN", "INT", "CHAR", "AND", "EXPLAIN", "ANALYZE", "NOT", "ORDER",
+    "BY", "UPDATE", "SET", "COUNT",
 }
 
 _TOKEN_RE = re.compile(

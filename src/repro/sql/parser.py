@@ -32,7 +32,8 @@ def parse_script(sql: str) -> List[ast.Statement]:
 
 def _statement(s: TokenStream) -> ast.Statement:
     if s.accept_keyword("EXPLAIN"):
-        return ast.Explain(_statement(s))
+        analyze = bool(s.accept_keyword("ANALYZE"))
+        return ast.Explain(_statement(s), analyze=analyze)
     if s.accept_keyword("CREATE"):
         return _create(s)
     if s.accept_keyword("DROP"):

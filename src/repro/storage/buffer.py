@@ -42,6 +42,11 @@ class BufferStats:
     def snapshot(self) -> "BufferStats":
         return BufferStats(**vars(self))
 
+    def delta_since(self, earlier: "BufferStats") -> "BufferStats":
+        return BufferStats(
+            **{k: getattr(self, k) - getattr(earlier, k) for k in vars(self)}
+        )
+
 
 class _Frame:
     __slots__ = ("page_id", "data", "dirty", "pin_count")
@@ -125,12 +130,17 @@ class BufferPool:
         letting one stream evict the other.
         """
         frame = self._frames.get(page_id)
+        observer = self.disk.observer
         if frame is not None:
             self.stats.hits += 1
+            if observer is not None:
+                observer.on_buffer_hit()  # type: ignore[attr-defined]
             if not cold:
                 self._frames.move_to_end(page_id)
         else:
             self.stats.misses += 1
+            if observer is not None:
+                observer.on_buffer_miss()  # type: ignore[attr-defined]
             self._make_room()
             data = bytearray(self.disk.read_page(page_id))
             frame = _Frame(page_id, data)
@@ -168,6 +178,8 @@ class BufferPool:
         if frame is not None and frame.dirty:
             self.disk.write_page(page_id, bytes(frame.data))
             self.stats.dirty_writebacks += 1
+            if self.disk.observer is not None:
+                self.disk.observer.on_buffer_writeback()  # type: ignore[attr-defined]
             frame.dirty = False
 
     def flush_all(self) -> None:
@@ -230,5 +242,9 @@ class BufferPool:
                     self.stats.dirty_writebacks += 1
                 del self._frames[page_id]
                 self.stats.evictions += 1
+                if self.disk.observer is not None:
+                    self.disk.observer.on_buffer_eviction(  # type: ignore[attr-defined]
+                        frame.dirty
+                    )
                 return
         raise BufferPoolError("all buffer frames are pinned")

@@ -165,6 +165,10 @@ class SimulatedDisk:
         #: for storage-layer unit tests).
         self.retain_freed = retain_freed
         self.stats = DiskStats()
+        #: Observability hook (:class:`repro.obs.observer.Observer`).
+        #: ``None`` (the default) keeps every access on the fast path —
+        #: a single attribute test and no metric objects at all.
+        self.observer: Optional[object] = None
         self._pages: Dict[int, bytes] = {}
         self._freed_ids: set = set()
         self._next_page_id = 1
@@ -189,6 +193,8 @@ class SimulatedDisk:
         self._pages[page_id] = bytes(self.page_size)
         self._file_of_page[page_id] = file_id
         self.stats.pages_allocated += 1
+        if self.observer is not None:
+            self.observer.on_page_alloc(file_id)  # type: ignore[attr-defined]
         return page_id
 
     def allocate_pages(self, file_id: int, count: int) -> List[int]:
@@ -212,6 +218,8 @@ class SimulatedDisk:
             del self._pages[page_id]
             del self._file_of_page[page_id]
         self.stats.pages_freed += 1
+        if self.observer is not None:
+            self.observer.on_page_free(page_id)  # type: ignore[attr-defined]
 
     def page_exists(self, page_id: int) -> bool:
         return page_id in self._pages and page_id not in self._freed_ids
@@ -285,6 +293,10 @@ class SimulatedDisk:
         self._last_access[(file_id, is_write)] = page_id
         self.clock.advance_ms(cost)
         self.stats.io_time_ms += cost
+        if self.observer is not None:
+            self.observer.on_disk_access(  # type: ignore[attr-defined]
+                file_id, kind, is_write, cost
+            )
         if is_write:
             self.stats.writes += 1
             setattr(
@@ -312,4 +324,7 @@ class SimulatedDisk:
         """Advance the clock for CPU work over ``record_count`` records."""
         if record_count <= 0:
             return
-        self.clock.advance_ms(self.CPU_RECORD_MS * record_count * factor)
+        cost = self.CPU_RECORD_MS * record_count * factor
+        self.clock.advance_ms(cost)
+        if self.observer is not None:
+            self.observer.on_cpu(cost)  # type: ignore[attr-defined]

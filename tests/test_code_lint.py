@@ -186,6 +186,60 @@ def test_non_cost_equality_is_fine():
 
 
 # ---------------------------------------------------------------------------
+# code/adhoc-metrics
+# ---------------------------------------------------------------------------
+def test_foreign_stats_mutation_flagged():
+    findings = lint(
+        """
+        def sweep(db):
+            db.disk.stats.reads += 1
+            db.disk.stats.io_time_ms = 5.0
+        """
+    )
+    assert rule_ids(findings) == ["code/adhoc-metrics"] * 2
+
+
+def test_own_stats_mutation_is_fine():
+    assert lint(
+        """
+        class Sorter:
+            def run(self):
+                self.stats.runs += 1
+                self.stats.spilled = True
+        """
+    ) == []
+
+
+def test_whole_stats_reset_is_fine():
+    # Replacing the stats object is a measurement reset, not emission.
+    assert lint(
+        """
+        def reset(db):
+            db.disk.stats = DiskStats()
+        """
+    ) == []
+
+
+def test_adhoc_metrics_allowed_in_storage_and_obs():
+    snippet = """
+    def account(pool):
+        pool.stats.hits += 1
+    """
+    assert rule_ids(lint(snippet)) == ["code/adhoc-metrics"]
+    assert lint(snippet, in_storage=True) == []
+    assert lint(snippet, in_obs=True) == []
+
+
+def test_adhoc_metrics_pragma():
+    assert lint(
+        """
+        def patch(db):
+            db.disk.stats.reads += 1  # lint: allow(adhoc-metrics)
+        """
+    ) == []
+
+
+# ---------------------------------------------------------------------------
 # pragmas
 # ---------------------------------------------------------------------------
 def test_pragma_suppresses_by_short_name():
@@ -253,6 +307,7 @@ def test_every_rule_documented():
         "code/unseeded-random",
         "code/raw-page-io",
         "code/float-cost-eq",
+        "code/adhoc-metrics",
     }
     assert all(CODE_RULES.values())
 

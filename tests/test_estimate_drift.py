@@ -1,0 +1,66 @@
+"""Gate: planner estimates track measurements on the self-check corpus.
+
+Every corpus case is executed and ``plan.estimated_ms`` compared with
+the measured simulated time.  Estimates must land within
+``MAX_RATIO`` (2x) of measurement in either direction, except for the
+cases in ``ACCEPTED_DRIFT`` — understood gaps that are documented in
+``docs/cost_model.md`` ("Known estimate gaps").
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.drift import (
+    ACCEPTED_DRIFT,
+    MAX_RATIO,
+    format_drift_report,
+    measure_drift,
+    unexplained_drift,
+)
+from repro.analysis.selfcheck import CASES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def records():
+    return measure_drift()
+
+
+def test_every_corpus_case_is_measured(records):
+    assert {r.case for r in records} == {c.name for c in CASES}
+    assert all(r.actual_ms > 0 for r in records)
+    assert all(r.estimated_ms > 0 for r in records)
+
+
+def test_no_unexplained_drift(records):
+    bad = unexplained_drift(records)
+    assert bad == [], format_drift_report(records)
+
+
+def test_both_strategies_are_exercised(records):
+    strategies = {r.strategy for r in records}
+    assert strategies == {"horizontal", "vertical"}
+
+
+def test_accepted_drift_cases_actually_drift(records):
+    """Entries must not linger after the estimate improves."""
+    by_name = {r.case: r for r in records}
+    for case in ACCEPTED_DRIFT:
+        assert case in by_name, f"{case} is not a corpus case"
+        assert not by_name[case].within, (
+            f"{case} is now within {MAX_RATIO}x; "
+            "drop it from ACCEPTED_DRIFT"
+        )
+
+
+def test_accepted_drift_is_documented():
+    doc = (REPO_ROOT / "docs" / "cost_model.md").read_text()
+    for case in ACCEPTED_DRIFT:
+        assert case in doc, (
+            f"accepted drift case {case!r} missing from "
+            "docs/cost_model.md 'Known estimate gaps'"
+        )

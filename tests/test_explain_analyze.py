@@ -1,0 +1,110 @@
+"""EXPLAIN ANALYZE: plan + measured operator tree, pinned by a golden.
+
+The golden file freezes the full rendered output for one deterministic
+workload (the simulation is exact, so the text is reproducible to the
+character).  Regenerate deliberately after an accepted cost change::
+
+    REPRO_REGOLD=1 PYTHONPATH=src python -m pytest tests/test_explain_analyze.py
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.catalog.database import Database
+from repro.errors import SqlBindError
+from repro.obs.explain import explain_analyze
+from repro.sql.interpreter import SqlSession
+from tests.conftest import populate
+
+GOLDEN = Path(__file__).parent / "golden" / "explain_analyze.txt"
+
+
+def analyzed_output() -> str:
+    db = Database(page_size=512, memory_bytes=64 * 1024)
+    values = populate(db, n=400)
+    keys = sorted(values["A"])[:60]
+    return explain_analyze(
+        db, "R", "A", keys, force_vertical=True
+    )
+
+
+def test_explain_analyze_matches_golden():
+    text = analyzed_output()
+    if os.environ.get("REPRO_REGOLD"):
+        GOLDEN.parent.mkdir(exist_ok=True)
+        GOLDEN.write_text(text + "\n")
+        pytest.skip("golden regenerated")
+    assert GOLDEN.exists(), (
+        "golden missing; regenerate with REPRO_REGOLD=1"
+    )
+    assert text + "\n" == GOLDEN.read_text()
+
+
+def test_explain_analyze_reports_the_required_surfaces():
+    text = analyzed_output()
+    # per-operator simulated time, inclusive and exclusive
+    assert "sim " in text and "(self " in text
+    # page breakdown: random / sequential / near-sequential, both sides
+    assert "rnd /" in text and "seq /" in text and "near)" in text
+    assert "reads " in text and "writes " in text
+    # buffer hit rate and exact reconciliation against the disk totals
+    assert "buf hit " in text
+    assert "reconciliation:" in text and "exact" in text
+    assert "MISMATCH" not in text
+    # estimate next to measurement
+    assert "estimate vs actual:" in text
+
+
+def test_explain_analyze_really_deletes():
+    db = Database(page_size=512, memory_bytes=64 * 1024)
+    values = populate(db, n=200)
+    keys = sorted(values["A"])[:30]
+    explain_analyze(db, "R", "A", keys, force_vertical=True)
+    remaining = {v[0] for _, v in db.scan("R")}
+    assert remaining.isdisjoint(keys)
+    assert db.obs is None  # the temporary observer was detached
+
+
+def test_sql_explain_analyze_executes_and_renders():
+    db = Database(page_size=512, memory_bytes=64 * 1024)
+    populate(db, n=200)
+    session = SqlSession(db, force_vertical=True)
+    keys = sorted(
+        {v[0] for _, v in db.scan("R")}
+    )[:20]
+    in_list = ", ".join(str(k) for k in keys)
+    result = session.execute(
+        f"EXPLAIN ANALYZE DELETE FROM R WHERE A IN ({in_list})"
+    )
+    assert result.kind == "explain"
+    assert "measured execution:" in result.text
+    remaining = {v[0] for _, v in db.scan("R")}
+    assert remaining.isdisjoint(keys)
+
+
+def test_sql_plain_explain_does_not_execute():
+    db = Database(page_size=512, memory_bytes=64 * 1024)
+    populate(db, n=200)
+    session = SqlSession(db)
+    before = {rid for rid, _ in db.scan("R")}
+    keys = sorted(
+        {v[0] for _, v in db.scan("R")}
+    )[:5]
+    in_list = ", ".join(str(k) for k in keys)
+    result = session.execute(
+        f"EXPLAIN DELETE FROM R WHERE A IN ({in_list})"
+    )
+    assert "measured execution:" not in result.text
+    assert {rid for rid, _ in db.scan("R")} == before
+
+
+def test_sql_explain_analyze_rejects_non_bulk_delete():
+    db = Database(page_size=512, memory_bytes=64 * 1024)
+    populate(db, n=50)
+    session = SqlSession(db)
+    with pytest.raises(SqlBindError):
+        session.execute("EXPLAIN ANALYZE DELETE FROM R WHERE A = 1")

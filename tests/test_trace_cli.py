@@ -1,0 +1,79 @@
+"""``python -m repro trace``: JSON export + schema validation.
+
+This mirrors the CI step: run the trace CLI over the planner
+self-check corpus and validate the emitted document against the
+checked-in schema (``docs/trace_schema.json`` semantically enforced by
+:mod:`repro.obs.schema`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.selfcheck import CASES
+from repro.cli import main as cli_main
+from repro.obs.schema import main as schema_main, validate_trace
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_trace_selfcheck_json_validates(tmp_path, capsys):
+    out = tmp_path / "traces.json"
+    assert cli_main(
+        ["trace", "--selfcheck", "--format", "json",
+         "--out", str(out)]
+    ) == 0
+    capsys.readouterr()
+    doc = json.loads(out.read_text())
+    assert validate_trace(doc) == []
+    assert doc["schema_version"] == 1
+    assert len(doc["traces"]) == len(CASES)
+    labels = {t["label"] for t in doc["traces"]}
+    assert labels == {case.name for case in CASES}
+    # the standalone validator CLI agrees (this is the CI invocation)
+    assert schema_main([str(out)]) == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_schema_cli_rejects_corrupted_document(tmp_path, capsys):
+    out = tmp_path / "traces.json"
+    cli_main(["trace", "--selfcheck", "--out", str(out)])
+    capsys.readouterr()
+    doc = json.loads(out.read_text())
+    doc["traces"][0]["span"]["self_ms"] += 1.0
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(doc))
+    assert schema_main([str(bad)]) == 1
+    assert "self_ms" in capsys.readouterr().out
+
+
+def test_trace_workload_text_format(capsys):
+    assert cli_main(
+        ["trace", "--records", "600", "--fraction", "0.1",
+         "--format", "text"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "== bulk-delete ==" in out
+    assert "-> " in out and "sim " in out
+    assert "totals:" in out
+
+
+def test_checked_in_schema_covers_every_exported_field():
+    """docs/trace_schema.json must require what the exporter emits."""
+    from repro.obs.schema import TOTAL_FIELDS
+    from repro.obs.trace import IO_FIELDS
+
+    schema = json.loads(
+        (REPO_ROOT / "docs" / "trace_schema.json").read_text()
+    )
+    io_schema = schema["definitions"]["io"]
+    assert set(io_schema["required"]) == set(IO_FIELDS)
+    span_schema = schema["definitions"]["span"]
+    for field in ("name", "kind", "start_ms", "end_ms", "elapsed_ms",
+                  "self_ms", "io", "self_io", "buffer", "attrs",
+                  "children"):
+        assert field in span_schema["required"]
+    trace_schema = schema["definitions"]["trace"]
+    totals = trace_schema["properties"]["totals"]
+    assert set(totals["required"]) == set(TOTAL_FIELDS)
