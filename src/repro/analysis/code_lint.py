@@ -63,6 +63,12 @@ CODE_RULES: Dict[str, str] = {
         "directly; metric emission goes through the repro.obs observer "
         "hooks (a structure may still maintain its own self.stats)"
     ),
+    "code/crash-outside-faults": (
+        "SimulatedCrash may only be raised inside repro/faults/; crash "
+        "injection goes through a FaultPlan + FaultInjector so every "
+        "crash point is visible to the crash sweep and loses the "
+        "buffer pool consistently"
+    ),
 }
 
 _WALL_CLOCK_CALLS = {
@@ -124,6 +130,9 @@ class _Visitor(ast.NodeVisitor):
     #: inside repro/obs/ — the metrics layer itself is exempt from
     #: code/adhoc-metrics (it is the sanctioned emission path)
     in_obs: bool = False
+    #: inside repro/faults/ — the injector is the one sanctioned place
+    #: that raises SimulatedCrash
+    in_faults: bool = False
     #: names bound by ``from time/datetime/random import X``
     clock_aliases: Set[str] = field(default_factory=set)
     random_aliases: Set[str] = field(default_factory=set)
@@ -272,6 +281,32 @@ class _Visitor(ast.NodeVisitor):
             "so span deltas and metric totals stay reconciled",
         )
 
+    # -- raises -------------------------------------------------------
+    def visit_Raise(self, node: ast.Raise) -> None:
+        """Flag ``raise SimulatedCrash(...)`` outside ``repro/faults/``.
+
+        A hand-rolled raise skips the injector: the crash point is
+        invisible to the sweep, the buffer pool is not invalidated, and
+        the observer never hears about it.  Crashes are injected by
+        arming a :class:`~repro.faults.FaultInjector` with a plan.
+        """
+        if self.in_faults:
+            self.generic_visit(node)
+            return
+        exc = node.exc
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        dotted = _dotted(target) if target is not None else None
+        if dotted is not None and dotted.split(".")[-1] == "SimulatedCrash":
+            self._emit(
+                "code/crash-outside-faults",
+                node,
+                dotted,
+                "raise SimulatedCrash bypasses the fault injector; arm "
+                "a FaultInjector(FaultPlan(...)) so the crash point is "
+                "sweepable and the pool is invalidated consistently",
+            )
+        self.generic_visit(node)
+
     # -- comparisons --------------------------------------------------
     def visit_Compare(self, node: ast.Compare) -> None:
         operands = [node.left, *node.comparators]
@@ -320,6 +355,7 @@ def lint_source(
     filename: str = "<string>",
     in_storage: bool = False,
     in_obs: bool = False,
+    in_faults: bool = False,
 ) -> List[Finding]:
     """Lint one module's source text; returns surviving findings."""
     try:
@@ -336,7 +372,8 @@ def lint_source(
             )
         ]
     visitor = _Visitor(
-        filename=filename, in_storage=in_storage, in_obs=in_obs
+        filename=filename, in_storage=in_storage, in_obs=in_obs,
+        in_faults=in_faults,
     )
     visitor.visit(tree)
     allowed = _allowed_rules(source.splitlines())
@@ -355,12 +392,14 @@ def lint_tree(root: Path) -> List[Finding]:
         rel = path.relative_to(root)
         in_storage = "storage" in rel.parts[:-1]
         in_obs = "obs" in rel.parts[:-1]
+        in_faults = "faults" in rel.parts[:-1]
         findings.extend(
             lint_source(
                 path.read_text(),
                 filename=str(rel),
                 in_storage=in_storage,
                 in_obs=in_obs,
+                in_faults=in_faults,
             )
         )
     return findings

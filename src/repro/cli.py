@@ -13,6 +13,10 @@ Commands:
 * ``trace`` — run a traced bulk delete (a generated workload, or the
   planner self-check corpus with ``--selfcheck``) and export the
   per-operator spans as JSON (``docs/trace_schema.json``) or text,
+* ``faultsweep`` — exhaustive crash-point sweep for the recovery
+  path: crash a recoverable bulk delete after every durable event
+  (WAL force / page write), recover, and assert the result matches
+  the fault-free oracle (see :mod:`repro.faults`),
 * ``lint`` (alias ``analysis``) — run the static checkers of
   :mod:`repro.analysis`: the simulation-invariant code lint over the
   package and the plan linter over representative planner output.
@@ -210,6 +214,31 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faultsweep(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.faults import crash_point_sweep
+    from repro.faults.sweep import SweepScenario
+
+    scenario = dataclasses.replace(
+        SweepScenario(), records=args.records
+    )
+    report = crash_point_sweep(
+        scenario=scenario,
+        max_points=args.max_points,
+        double_crash=not args.no_double,
+        torn_writes=args.torn,
+        wal_tail=args.wal_tail,
+        log_fn=print if args.verbose else None,
+    )
+    print(report.summary())
+    if not report.ok:
+        for failure in report.failures:
+            print(f"  {failure}")
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.__main__ import main as analysis_main
 
@@ -267,6 +296,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_trace.add_argument("--out", default=None,
                          help="write to a file instead of stdout")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_sweep = sub.add_parser(
+        "faultsweep",
+        help="crash the recovery scenario at every durable event and "
+        "assert the recovered state matches the fault-free oracle",
+    )
+    p_sweep.add_argument("--max-points", type=int, default=None,
+                         help="bound the sweep to K evenly spaced crash "
+                         "points (default: every durable event)")
+    p_sweep.add_argument("--records", type=int, default=48,
+                         help="rows in the swept table")
+    p_sweep.add_argument("--no-double", action="store_true",
+                         help="skip the crash-during-recovery pass")
+    p_sweep.add_argument("--torn", action="store_true",
+                         help="make every crashing write a torn (half) "
+                         "page write; enables full-page-write logging")
+    p_sweep.add_argument("--wal-tail", choices=("keep", "drop", "torn"),
+                         default="keep",
+                         help="what happens to the WAL record being "
+                         "forced when the crash lands on it")
+    p_sweep.add_argument("--verbose", action="store_true",
+                         help="print per-point progress")
+    p_sweep.set_defaults(func=_cmd_faultsweep)
 
     for lint_name in ("lint", "analysis"):
         p_lint = sub.add_parser(

@@ -1,0 +1,190 @@
+"""The fault injector: executes a :class:`FaultPlan` against a database.
+
+The injector is wired *into* the durability layers rather than around
+them: ``SimulatedDisk.write_page`` and ``WriteAheadLog.append`` hand it
+the would-be-durable data plus a ``commit`` callback, so the injector
+decides exactly what survives the crash — the full write, a torn half
+write, or (for a WAL force that never completed) nothing at all.  This
+is the only way to model the interesting failure modes: a crash *after*
+the write returns can never lose the write.
+
+Crashing itself is centralised in :meth:`FaultInjector._crash`: drop
+every unflushed buffer (``BufferPool.invalidate_all``), tell the
+observer, and raise :class:`SimulatedCrash`.  The code lint forbids
+raising ``SimulatedCrash`` anywhere outside this package, so every
+crash a test provokes is reachable by the sweep too.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.faults.plan import FaultPlan, SimulatedCrash
+
+#: Payload key marking a torn (partially forced) WAL record.
+TORN_RECORD_KEY = "__torn__"
+
+
+class FaultInjector:
+    """Executes one :class:`FaultPlan`; counts durable events as it goes.
+
+    An injector with an empty plan is a pure counter — useful for
+    measuring how many durable events a statement produces (the sweep's
+    first, fault-free pass) without perturbing it.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None) -> None:
+        self.plan = plan or FaultPlan()
+        #: ``(kind, detail)`` per durable event, in order.  ``kind`` is
+        #: ``"wal"`` or ``"page"``; detail is the record kind / page id.
+        self.durable_events: List[Tuple[str, Any]] = []
+        self.crash_description: Optional[str] = None
+        self.crash_count = 0
+        self.torn_page_writes = 0
+        self.dropped_wal_records = 0
+        self.torn_wal_records = 0
+        self._redo_seen: dict = {}
+        self._disk: Optional[Any] = None
+        self._pool: Optional[Any] = None
+        self._log: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def arm(self, disk: Any, pool: Any = None, log: Any = None) -> None:
+        """Attach to a disk (and optionally a pool and a WAL)."""
+        if disk.fault_injector is not None and disk.fault_injector is not self:
+            raise RuntimeError("another fault injector is already armed")
+        if log is not None and log.fault_injector is not None \
+                and log.fault_injector is not self:
+            raise RuntimeError("another fault injector is armed on the log")
+        self._disk = disk
+        self._pool = pool
+        self._log = log
+        disk.fault_injector = self
+        if log is not None:
+            log.fault_injector = self
+
+    def disarm(self) -> None:
+        if self._disk is not None and self._disk.fault_injector is self:
+            self._disk.fault_injector = None
+        if self._log is not None and self._log.fault_injector is self:
+            self._log.fault_injector = None
+        self._disk = None
+        self._pool = None
+        self._log = None
+
+    @contextlib.contextmanager
+    def armed(self, disk: Any, pool: Any = None,
+              log: Any = None) -> Iterator["FaultInjector"]:
+        self.arm(disk, pool=pool, log=log)
+        try:
+            yield self
+        finally:
+            self.disarm()
+
+    # ------------------------------------------------------------------
+    # durability hooks (called by SimulatedDisk / WriteAheadLog)
+    # ------------------------------------------------------------------
+    def on_wal_append(self, record: Any, commit: Callable[[Any], None]) -> None:
+        """A WAL force is about to complete.  ``commit(record)`` persists."""
+        ordinal = len(self.durable_events) + 1
+        crashing = self.plan.crash_after_event == ordinal
+        if crashing and self.plan.drop_wal_tail:
+            # The force never completed: nothing reaches the log.
+            self.dropped_wal_records += 1
+            self._note_event("wal", f"{record.kind} (dropped)")
+            obs = self._observer()
+            if obs is not None:
+                obs.on_wal_tail_lost()
+            self._crash(f"WAL append of {record.kind!r} lost at event "
+                        f"{ordinal}")
+        if crashing and self.plan.torn_wal_tail:
+            # A mutilated record reaches the log; restart truncates it.
+            commit(type(record)(record.lsn, record.kind,
+                                {TORN_RECORD_KEY: True}))
+            self.torn_wal_records += 1
+            self._note_event("wal", f"{record.kind} (torn)")
+            obs = self._observer()
+            if obs is not None:
+                obs.on_wal_tail_lost()
+            self._crash(f"WAL append of {record.kind!r} torn at event "
+                        f"{ordinal}")
+        commit(record)
+        self._note_event("wal", record.kind)
+        if crashing:
+            self._crash(f"after WAL append of {record.kind!r} at event "
+                        f"{ordinal}")
+
+    def on_page_write(self, page_id: int, old: bytes, new: bytes,
+                      commit: Callable[[bytes], None]) -> None:
+        """A page write is about to land.  ``commit(data)`` persists."""
+        ordinal = len(self.durable_events) + 1
+        crashing = self.plan.crash_after_event == ordinal
+        if crashing and self.plan.torn_write:
+            half = len(new) // 2
+            commit(new[:half] + old[half:])
+            assert self._disk is not None
+            self._disk.torn_pages.add(page_id)
+            self.torn_page_writes += 1
+            self._note_event("page", f"{page_id} (torn)")
+            obs = self._observer()
+            if obs is not None:
+                obs.on_torn_write()
+            self._crash(f"torn write of page {page_id} at event {ordinal}")
+        commit(new)
+        self._note_event("page", page_id)
+        if crashing:
+            self._crash(f"after write of page {page_id} at event {ordinal}")
+
+    # ------------------------------------------------------------------
+    # named crash points (stage boundaries, n-th redo record)
+    # ------------------------------------------------------------------
+    def stage(self, point: str) -> None:
+        """Execution reached a named stage point."""
+        if self.plan.crash_point == point:
+            self._crash(f"stage {point!r}")
+
+    def redo_record(self, structure: str) -> None:
+        """A logical redo record for ``structure`` was just logged."""
+        target = self.plan.crash_mid_structure
+        if target is None:
+            return
+        seen = self._redo_seen.get(structure, 0) + 1
+        self._redo_seen[structure] = seen
+        if structure == target[0] and seen == target[1]:
+            self._crash(f"redo record {seen} of {structure!r}")
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def durable_event_count(self) -> int:
+        return len(self.durable_events)
+
+    @property
+    def crashed(self) -> bool:
+        return self.crash_count > 0
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _observer(self) -> Optional[Any]:
+        return None if self._disk is None else self._disk.observer
+
+    def _note_event(self, kind: str, detail: Any) -> None:
+        self.durable_events.append((kind, detail))
+        obs = self._observer()
+        if obs is not None:
+            obs.on_fault_event(kind)
+
+    def _crash(self, description: str) -> None:
+        self.crash_description = description
+        self.crash_count += 1
+        if self._pool is not None:
+            self._pool.invalidate_all()
+        obs = self._observer()
+        if obs is not None:
+            obs.on_crash(description)
+        raise SimulatedCrash(f"injected crash: {description}")

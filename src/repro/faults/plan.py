@@ -1,0 +1,111 @@
+"""Fault plans: a declarative description of *where* to fail.
+
+A :class:`FaultPlan` names at most one primary failure point plus the
+shape the failure takes at that point.  The plan itself is inert — it
+only gains teeth when handed to a
+:class:`~repro.faults.injector.FaultInjector` and armed on a database.
+
+Durable-event numbering
+-----------------------
+
+The injector assigns every durable event a 1-based ordinal in arrival
+order.  A durable event is either
+
+* a WAL append (``WriteAheadLog.append`` — the log force), or
+* a simulated-disk page write (``SimulatedDisk.write_page`` — a buffer
+  flush, an eviction write-back, or a spill-file write).
+
+``crash_after_event=k`` crashes immediately after the k-th event
+*commits* (the record is in the log / the bytes are on the disk).  The
+modifiers below change what commits at that final event:
+
+* ``torn_write`` — if event k is a page write, only the first half of
+  the new image reaches the disk; the page is marked torn (the
+  checksum-mismatch model) and must be repaired from a full-page image
+  at recovery,
+* ``drop_wal_tail`` — if event k is a WAL append, the force never
+  completes: the record is *not* in the log after the crash,
+* ``torn_wal_tail`` — if event k is a WAL append, a mutilated record
+  with no payload reaches the log; restart detects and truncates it.
+
+Named crash points (``crash_point``/``crash_mid_structure``) are kept
+for targeted tests; they piggyback on the same injector so that *all*
+crashes — swept or hand-picked — go through one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class SimulatedCrash(ReproError):
+    """Raised to simulate a process crash at an injected fault point.
+
+    Everything in the buffer pool is gone when this is raised; only the
+    simulated disk and the write-ahead log survive.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Where and how to fail.  Empty plan == pure event counter."""
+
+    #: Crash immediately after the k-th durable event (1-based).
+    crash_after_event: Optional[int] = None
+    #: If the crash event is a page write, tear it (half new, half old).
+    torn_write: bool = False
+    #: If the crash event is a WAL append, the record never persists.
+    drop_wal_tail: bool = False
+    #: If the crash event is a WAL append, a payload-less torn record
+    #: persists instead; restart truncates it.
+    torn_wal_tail: bool = False
+    #: Named stage point (``after_driving``, ``recovery:after_restore``,
+    #: ...) — crash when execution reaches it.
+    crash_point: Optional[str] = None
+    #: Crash after the n-th redo record of a structure, e.g.
+    #: ``("__table__", 3)`` or ``("ix_A", 1)``.
+    crash_mid_structure: Optional[Tuple[str, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.drop_wal_tail and self.torn_wal_tail:
+            raise ValueError(
+                "drop_wal_tail and torn_wal_tail are mutually exclusive"
+            )
+        if self.crash_after_event is not None and self.crash_after_event < 1:
+            raise ValueError("crash_after_event is 1-based")
+        if (self.torn_write or self.drop_wal_tail or self.torn_wal_tail) \
+                and self.crash_after_event is None:
+            raise ValueError(
+                "torn/dropped-tail modifiers require crash_after_event"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        return (
+            self.crash_after_event is None
+            and self.crash_point is None
+            and self.crash_mid_structure is None
+        )
+
+    def describe(self) -> str:
+        if self.crash_after_event is not None:
+            mods = [
+                name
+                for name, on in (
+                    ("torn_write", self.torn_write),
+                    ("drop_wal_tail", self.drop_wal_tail),
+                    ("torn_wal_tail", self.torn_wal_tail),
+                )
+                if on
+            ]
+            suffix = f" ({', '.join(mods)})" if mods else ""
+            return f"event {self.crash_after_event}{suffix}"
+        if self.crash_point is not None:
+            return f"stage {self.crash_point}"
+        if self.crash_mid_structure is not None:
+            structure, nth = self.crash_mid_structure
+            return f"redo record {nth} of {structure}"
+        return "no fault"

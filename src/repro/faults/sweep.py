@@ -1,0 +1,435 @@
+"""Exhaustive crash-point sweep over the recovery path.
+
+The sweep turns §3.2's recovery claim into a checked property:
+
+1. run a recoverable bulk delete **fault-free** on a deterministic
+   scenario, capturing the *oracle* state (every table's rows and
+   counts, every index's entries) and the number N of durable events
+   the statement produced,
+2. for each k in 1..N, rebuild the identical scenario, crash it right
+   after durable event k, run :func:`repro.recovery.restart.recover`,
+   and require the recovered database to be equivalent to the oracle
+   and internally consistent (tree validation, count reconciliation,
+   heap/index cross-checks, ``core.integrity`` foreign keys),
+3. prove recovery is *re-entrant*: for sampled j, crash the recovery
+   run itself at its j-th durable event, recover again, and require the
+   same equivalence.
+
+Scenario builds are deterministic (seeded RNG, simulated clock), so
+durable-event k always lands on the same write — a failing point is
+exactly reproducible with
+``FaultPlan(crash_after_event=k)`` on a fresh build.
+
+If the statement verifiably never started (its ``bulk_begin`` was the
+lost tail record, or recovery abandoned it before any modification),
+the sweep re-issues the statement — that is the client's contract, not
+a recovery failure — but only when the recovered state is bit-identical
+to the pre-statement state; anything else is reported as a failure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.btree.maintenance import validate_tree
+from repro.catalog.database import Database
+from repro.catalog.schema import Attribute, TableSchema
+from repro.core.integrity import (
+    ConstraintRegistry,
+    OnDelete,
+    find_referencing_keys,
+)
+from repro.errors import ReproError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, SimulatedCrash
+from repro.recovery.restart import RecoverableBulkDelete, recover
+from repro.recovery.wal import WriteAheadLog
+
+#: ``capture_state``'s per-table value: (sorted rows, heap record
+#: count, {index name: (sorted entries, entry_count)}).
+TableState = Tuple[list, int, Dict[str, Tuple[list, int]]]
+
+
+@dataclass(frozen=True)
+class SweepScenario:
+    """A deterministic workload: every ``build()`` is bit-identical.
+
+    Table R carries the bulk delete (unique index on the driving column
+    A plus one secondary per extra column); child table S references
+    only *surviving* A values, so the foreign key must hold before and
+    after any crash/recovery interleaving.
+    """
+
+    records: int = 48
+    delete_fraction: float = 0.4
+    seed: int = 7
+    page_size: int = 512
+    memory_pages: int = 12
+    child_rows: int = 8
+    index_columns: Tuple[str, ...] = ("A", "B")
+
+    def build(self) -> "SweepCase":
+        db = Database(
+            page_size=self.page_size,
+            memory_bytes=self.memory_pages * self.page_size,
+        )
+        rng = random.Random(self.seed)
+        n = self.records
+        a_vals = rng.sample(range(10 * n), n)
+        b_vals = rng.sample(range(10 * n), n)
+        db.create_table(TableSchema.of(
+            "R",
+            [
+                Attribute.int_("A"),
+                Attribute.int_("B"),
+                Attribute.char("PAD", 24),
+            ],
+        ))
+        db.load_table("R", list(zip(a_vals, b_vals, ["p"] * n)))
+        for col in self.index_columns:
+            db.create_index("R", col, unique=(col == "A"))
+        count = max(1, int(n * self.delete_fraction))
+        keys = sorted(rng.sample(a_vals, count))
+        survivors = [a for a in a_vals if a not in set(keys)]
+        db.create_table(TableSchema.of(
+            "S",
+            [Attribute.int_("FA"), Attribute.char("PAD", 8)],
+        ))
+        db.load_table(
+            "S",
+            [
+                (survivors[i % len(survivors)], "c")
+                for i in range(self.child_rows)
+            ],
+        )
+        db.create_index("S", "FA")
+        registry = ConstraintRegistry(db)
+        registry.add_foreign_key("S", "FA", "R", "A", OnDelete.RESTRICT)
+        # The pre-statement image must be durable: a crash at the very
+        # first statement event may not lose any of the build.
+        db.flush()
+        return SweepCase(
+            db=db, log=WriteAheadLog(db.disk), keys=keys, registry=registry
+        )
+
+
+@dataclass
+class SweepCase:
+    """One built scenario instance."""
+
+    db: Database
+    log: WriteAheadLog
+    keys: List[int]
+    registry: ConstraintRegistry
+
+
+def capture_state(db: Database) -> Dict[str, TableState]:
+    """Logical content of every table + every B-tree index."""
+    state: Dict[str, TableState] = {}
+    for table in db.catalog.tables():
+        rows = sorted(values for _, values in db.scan(table.schema.name))
+        indexes: Dict[str, Tuple[list, int]] = {}
+        for name, ix in sorted(table.indexes.items()):
+            if ix.is_btree:
+                indexes[name] = (
+                    sorted(ix.tree.items()), ix.tree.entry_count
+                )
+        state[table.schema.name] = (rows, table.heap.record_count, indexes)
+    return state
+
+
+def integrity_problems(
+    db: Database,
+    registry: Optional[ConstraintRegistry] = None,
+    deleted_keys: Optional[List[int]] = None,
+    limit: int = 20,
+) -> List[str]:
+    """Internal-consistency violations, independent of any oracle."""
+    problems: List[str] = []
+
+    def note(message: str) -> None:
+        if len(problems) < limit:
+            problems.append(message)
+
+    for table in db.catalog.tables():
+        table_name = table.schema.name
+        actual = list(db.scan(table_name))
+        if table.heap.record_count != len(actual):
+            note(
+                f"{table_name}: heap record_count "
+                f"{table.heap.record_count} != {len(actual)} scanned rows"
+            )
+        expected_by_index: Dict[str, list] = {}
+        for name, ix in sorted(table.indexes.items()):
+            if not ix.is_btree:
+                continue
+            try:
+                validate_tree(ix.tree)
+            except ReproError as exc:
+                note(f"{table_name}.{name}: structural: {exc}")
+                continue
+            items = list(ix.tree.items())
+            if ix.tree.entry_count != len(items):
+                note(
+                    f"{table_name}.{name}: entry_count "
+                    f"{ix.tree.entry_count} != {len(items)} entries"
+                )
+            expected = sorted(
+                (ix.key_for(values, table.schema), rid.pack())
+                for rid, values in actual
+            )
+            expected_by_index[name] = expected
+            if sorted(items) != expected:
+                note(
+                    f"{table_name}.{name}: {len(items)} entries do not "
+                    f"match the {len(actual)} heap rows"
+                )
+    if registry is not None and deleted_keys:
+        for fk in registry.all_constraints():
+            refs = find_referencing_keys(db, fk, deleted_keys)
+            if refs:
+                note(
+                    f"fk {fk.child_table}.{fk.child_column}: "
+                    f"{len(refs)} references to deleted parent keys"
+                )
+    return problems
+
+
+@dataclass
+class PointOutcome:
+    """One crash-point run (single crash, or crash + recovery crash)."""
+
+    event: int
+    second_event: Optional[int]
+    crash: Optional[str] = None
+    problems: List[str] = field(default_factory=list)
+    recovery_events: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+@dataclass
+class SweepReport:
+    """Everything a sweep did and found."""
+
+    durable_events: int = 0
+    points: List[int] = field(default_factory=list)
+    outcomes: List[PointOutcome] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[PointOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        single = [o for o in self.outcomes if o.second_event is None]
+        double = [o for o in self.outcomes if o.second_event is not None]
+        lines = [
+            f"durable events: {self.durable_events}; crash points swept: "
+            f"{len(single)}; double-crash runs: {len(double)}; "
+            f"failures: {len(self.failures)}"
+        ]
+        for outcome in self.failures[:10]:
+            where = f"event {outcome.event}"
+            if outcome.second_event is not None:
+                where += f" + recovery event {outcome.second_event}"
+            lines.append(f"  FAIL at {where}: {outcome.problems[0]}")
+        return "\n".join(lines)
+
+
+def crash_point_sweep(
+    scenario: Optional[SweepScenario] = None,
+    max_points: Optional[int] = None,
+    double_crash: bool = True,
+    double_samples: int = 2,
+    torn_writes: bool = False,
+    wal_tail: str = "keep",
+    full_page_writes: Optional[bool] = None,
+    log_fn: Optional[Callable[[str], None]] = None,
+) -> SweepReport:
+    """Sweep a crash over every (or ``max_points`` evenly spaced)
+    durable event of the scenario's bulk delete.
+
+    ``wal_tail`` shapes the crash when it lands on a WAL append:
+    ``"keep"`` (the force completed), ``"drop"`` (it never did) or
+    ``"torn"`` (a mutilated record persisted).  ``torn_writes`` does the
+    analogue for page writes and implies ``full_page_writes`` so the
+    torn pages are repairable.  ``double_samples`` recovery events per
+    point are re-run with a second crash inside recovery
+    (``double_samples <= 0`` means every recovery event).
+    """
+    scenario = scenario or SweepScenario()
+    if full_page_writes is None:
+        full_page_writes = torn_writes
+    say = log_fn or (lambda message: None)
+
+    # Pass 0: pre-statement state, oracle state, durable event count.
+    case = scenario.build()
+    initial = capture_state(case.db)
+    counter = FaultInjector()
+    RecoverableBulkDelete(
+        case.db, "R", "A", case.keys, case.log,
+        faults=counter, full_page_writes=full_page_writes,
+    ).run()
+    oracle = capture_state(case.db)
+    oracle_problems = integrity_problems(case.db, case.registry, case.keys)
+    if oracle_problems:
+        raise ReproError(
+            "fault-free oracle run is already inconsistent: "
+            + "; ".join(oracle_problems)
+        )
+    report = SweepReport(durable_events=counter.durable_event_count)
+    report.points = _choose_points(counter.durable_event_count, max_points)
+    say(
+        f"oracle: {counter.durable_event_count} durable events; "
+        f"sweeping {len(report.points)} crash points"
+        + (f" (wal_tail={wal_tail})" if wal_tail != "keep" else "")
+        + (" (torn page writes)" if torn_writes else "")
+    )
+
+    for k in report.points:
+        outcome = _run_point(
+            scenario, k, None, torn_writes, wal_tail, full_page_writes,
+            initial, oracle,
+        )
+        report.outcomes.append(outcome)
+        if not outcome.ok:
+            say(f"  event {k}: FAIL: {outcome.problems[0]}")
+            continue
+        if not double_crash or not outcome.recovery_events:
+            continue
+        samples = None if double_samples <= 0 else double_samples
+        for j in _choose_points(outcome.recovery_events, samples):
+            second = _run_point(
+                scenario, k, j, torn_writes, wal_tail, full_page_writes,
+                initial, oracle,
+            )
+            report.outcomes.append(second)
+            if not second.ok:
+                say(
+                    f"  event {k} + recovery event {j}: FAIL: "
+                    f"{second.problems[0]}"
+                )
+    return report
+
+
+def _choose_points(total: int, max_points: Optional[int]) -> List[int]:
+    if total <= 0:
+        return []
+    if max_points is None or max_points >= total:
+        return list(range(1, total + 1))
+    if max_points <= 0:
+        return []
+    return sorted({
+        max(1, min(total, round(i * total / max_points)))
+        for i in range(1, max_points + 1)
+    })
+
+
+def _run_point(
+    scenario: SweepScenario,
+    event: int,
+    second_event: Optional[int],
+    torn_writes: bool,
+    wal_tail: str,
+    full_page_writes: bool,
+    initial: Dict[str, TableState],
+    oracle: Dict[str, TableState],
+) -> PointOutcome:
+    case = scenario.build()
+
+    def plan_for(k: int) -> FaultPlan:
+        return FaultPlan(
+            crash_after_event=k,
+            torn_write=torn_writes,
+            drop_wal_tail=(wal_tail == "drop"),
+            torn_wal_tail=(wal_tail == "torn"),
+        )
+
+    outcome = PointOutcome(event=event, second_event=second_event)
+    runner = RecoverableBulkDelete(
+        case.db, "R", "A", case.keys, case.log,
+        faults=FaultInjector(plan_for(event)),
+        full_page_writes=full_page_writes,
+    )
+    try:
+        runner.run()
+    except SimulatedCrash as exc:
+        outcome.crash = str(exc)
+    if outcome.crash is None:
+        outcome.problems.append(f"no crash fired at durable event {event}")
+        return outcome
+
+    if second_event is not None:
+        # Crash the recovery run itself, then recover from *that*.
+        try:
+            recover(
+                case.db, case.log,
+                faults=FaultInjector(plan_for(second_event)),
+                full_page_writes=full_page_writes,
+            )
+        except SimulatedCrash:
+            pass
+
+    counting = FaultInjector()
+    rec_report = recover(
+        case.db, case.log, faults=counting,
+        full_page_writes=full_page_writes,
+    )
+    outcome.recovery_events = counting.durable_event_count
+
+    state = capture_state(case.db)
+    if state != oracle and (rec_report.abandoned or not rec_report.resumed):
+        # The statement never started (its begin record was the lost
+        # tail) or was abandoned before modifying anything; the client
+        # re-issues it.  Legitimate only from the pristine state.
+        if state == initial:
+            RecoverableBulkDelete(
+                case.db, "R", "A", case.keys, case.log
+            ).run()
+            state = capture_state(case.db)
+    if state != oracle:
+        outcome.problems.append(_diff_states(oracle, state))
+    outcome.problems.extend(
+        integrity_problems(case.db, case.registry, case.keys)
+    )
+    # Recovery must be terminal: a further restart finds nothing to do.
+    if recover(case.db, case.log).resumed:
+        outcome.problems.append(
+            "recovery is not terminal (a further recover() resumed)"
+        )
+    return outcome
+
+
+def _diff_states(
+    oracle: Dict[str, TableState], state: Dict[str, TableState]
+) -> str:
+    parts: List[str] = []
+    for name in sorted(set(oracle) | set(state)):
+        expected, actual = oracle.get(name), state.get(name)
+        if expected == actual:
+            continue
+        if expected is None or actual is None:
+            parts.append(f"{name}: present in only one state")
+            continue
+        e_rows, e_count, e_ix = expected
+        a_rows, a_count, a_ix = actual
+        if e_rows != a_rows:
+            missing = sum(1 for r in e_rows if r not in a_rows)
+            extra = sum(1 for r in a_rows if r not in e_rows)
+            parts.append(
+                f"{name}: rows differ ({missing} missing, {extra} extra)"
+            )
+        if e_count != a_count:
+            parts.append(f"{name}: record_count {a_count} != {e_count}")
+        for ix_name in sorted(set(e_ix) | set(a_ix)):
+            if e_ix.get(ix_name) != a_ix.get(ix_name):
+                parts.append(f"{name}.{ix_name}: index entries differ")
+    return "state != oracle: " + "; ".join(parts or ["(unlocated)"])

@@ -132,6 +132,29 @@ class Observer:
     def on_spill_read(self, pages: int = 1) -> None:
         self.metrics.counter("spill.pages_read").inc(pages)
 
+    # ------------------------------------------------------------------
+    # fault-injection hooks (repro.faults)
+    # ------------------------------------------------------------------
+    def on_fault_event(self, kind: str) -> None:
+        """One durable event counted by an armed fault injector
+        (``kind`` is ``wal`` or ``page``)."""
+        self.metrics.counter("faults.durable_events").inc()
+        self.metrics.counter(f"faults.durable_events.{kind}").inc()
+
+    def on_crash(self, description: str) -> None:
+        """An injected crash is about to be raised."""
+        self.metrics.counter("faults.crashes").inc()
+        span = self.tracer.current
+        if span is not None:
+            span.set(fault=description)
+
+    def on_torn_write(self) -> None:
+        self.metrics.counter("faults.torn_page_writes").inc()
+
+    def on_wal_tail_lost(self) -> None:
+        """A WAL force that never completed (dropped or torn tail)."""
+        self.metrics.counter("faults.wal_tail_lost").inc()
+
 
 class observed:
     """Context manager: attach an :class:`Observer` for the block.

@@ -232,6 +232,11 @@ class Tracer:
         """The first root span (the usual single-statement case)."""
         return self.roots[0] if self.roots else None
 
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span (``None`` outside any span)."""
+        return self._stack[-1] if self._stack else None
+
     def _push(self, span: Span) -> None:
         if self._stack:
             self._stack[-1].children.append(span)

@@ -32,6 +32,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.catalog.database import Database
 from repro.core.bulk_ops import bd_heap_sorted_rids, bd_index_sort_merge
 from repro.errors import RecoveryError, ReproError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, SimulatedCrash
 from repro.query.spill import SpillFile
 from repro.recovery.snapshot import capture_metadata, restore_metadata
 from repro.recovery.wal import WriteAheadLog
@@ -40,9 +42,12 @@ from repro.txn.sidefile import SideFile
 
 Entry = Tuple[int, int]
 
-
-class SimulatedCrash(ReproError):
-    """Raised at an injected crash point (buffer contents are lost)."""
+__all__ = [
+    "RecoverableBulkDelete",
+    "RecoveryReport",
+    "SimulatedCrash",
+    "recover",
+]
 
 
 @dataclass
@@ -50,10 +55,13 @@ class RecoveryReport:
     """What restart did."""
 
     resumed: bool = False
+    abandoned: bool = False
     skipped_structures: List[str] = field(default_factory=list)
     redone_structures: List[str] = field(default_factory=list)
     records_deleted: int = 0
     side_files_applied: Dict[str, int] = field(default_factory=dict)
+    torn_pages_repaired: int = 0
+    wal_tail_truncated: bool = False
 
 
 class RecoverableBulkDelete:
@@ -64,7 +72,13 @@ class RecoverableBulkDelete:
     ``after_index:<name>``, ``before_end``); ``crash_mid_structure``
     is ``(structure_name, nth_redo_record)`` for a crash in the middle
     of a sweep.  Either one loses the buffer pool, exactly like a power
-    failure.
+    failure.  Arbitrary fault plans (crash after the k-th durable
+    event, torn writes, dropped WAL tails) come in through ``faults``;
+    the legacy keyword arguments are sugar that builds an injector for
+    the equivalent plan.
+
+    ``full_page_writes`` logs a ``page_image`` record the first time a
+    clean page is dirtied, so recovery can repair torn page writes.
     """
 
     def __init__(
@@ -76,19 +90,39 @@ class RecoverableBulkDelete:
         log: WriteAheadLog,
         crash_point: Optional[str] = None,
         crash_mid_structure: Optional[Tuple[str, int]] = None,
+        faults: Optional[FaultInjector] = None,
+        full_page_writes: bool = False,
     ) -> None:
         self.db = db
         self.table_name = table_name
         self.column = column
         self.keys = list(keys)
         self.log = log
-        self.crash_point = crash_point
-        self.crash_mid_structure = crash_mid_structure
-        self._mid_counter = 0
+        if faults is None and (crash_point or crash_mid_structure):
+            faults = FaultInjector(FaultPlan(
+                crash_point=crash_point,
+                crash_mid_structure=crash_mid_structure,
+            ))
+        self.faults = faults
+        self.full_page_writes = full_page_writes
 
     # ------------------------------------------------------------------
     def run(self) -> int:
         """Execute to completion (or to the injected crash)."""
+        db = self.db
+        if self.faults is not None:
+            self.faults.arm(db.disk, pool=db.pool, log=self.log)
+        if self.full_page_writes:
+            db.pool.page_image_sink = self._log_page_image
+        try:
+            return self._run()
+        finally:
+            if self.full_page_writes:
+                db.pool.page_image_sink = None
+            if self.faults is not None:
+                self.faults.disarm()
+
+    def _run(self) -> int:
         db = self.db
         table = db.table(self.table_name)
         driving = table.indexes_on(self.column)
@@ -267,37 +301,91 @@ class RecoverableBulkDelete:
         )
 
     def _maybe_crash(self, point: str) -> None:
-        if self.crash_point == point:
-            self.db.pool.invalidate_all()
-            raise SimulatedCrash(f"injected crash at {point}")
+        if self.faults is not None:
+            self.faults.stage(point)
 
     def _maybe_crash_mid(self, structure: str) -> None:
-        if self.crash_mid_structure is None:
-            return
-        name, nth = self.crash_mid_structure
-        if name != structure:
-            return
-        self._mid_counter += 1
-        if self._mid_counter >= nth:
-            # Half of the in-flight modifications have typically been
-            # evicted already; lose whatever is still only in memory.
-            self.db.pool.invalidate_all()
-            raise SimulatedCrash(
-                f"injected crash inside {structure} after record {nth}"
-            )
+        if self.faults is not None:
+            self.faults.redo_record(structure)
+
+    def _log_page_image(self, page_id: int, image: bytes) -> None:
+        self.log.append("page_image", page_id=page_id, image=image)
 
 
 def recover(
     db: Database,
     log: WriteAheadLog,
     side_files: Optional[Dict[str, SideFile]] = None,
+    faults: Optional[FaultInjector] = None,
+    full_page_writes: bool = False,
 ) -> RecoveryReport:
-    """Restart processing: finish any interrupted bulk delete forward."""
+    """Restart processing: finish any interrupted bulk delete forward.
+
+    ``faults`` injects crashes *into recovery itself* (the re-entrancy
+    half of the crash sweep); ``full_page_writes`` keeps logging page
+    images during recovery so a second torn write is repairable too.
+    """
     report = RecoveryReport()
+    # Restart's checksum scan: a torn final record is truncated, torn
+    # page writes are repaired from their logged full-page images.
+    report.wal_tail_truncated = log.truncate_torn_tail() is not None
+    report.torn_pages_repaired = _repair_torn_pages(db, log)
     open_rec = log.find_open_bulk_delete()
     if open_rec is None:
         return report
     report.resumed = True
+    if faults is not None:
+        faults.arm(db.disk, pool=db.pool, log=log)
+    if full_page_writes:
+        db.pool.page_image_sink = (
+            lambda page_id, image: log.append(
+                "page_image", page_id=page_id, image=image
+            )
+        )
+    try:
+        return _resume(db, log, open_rec, side_files, faults, report)
+    finally:
+        if full_page_writes:
+            db.pool.page_image_sink = None
+        if faults is not None:
+            faults.disarm()
+
+
+def _repair_torn_pages(db: Database, log: WriteAheadLog) -> int:
+    """Rewrite torn pages from their most recent logged full-page image.
+
+    A page without an image is left alone: it can only be a page that
+    no durable structure references yet (e.g. a node the interrupted
+    stage had freshly allocated — the stage re-run allocates new pages
+    and never revisits it).
+    """
+    disk = db.disk
+    if not disk.torn_pages:
+        return 0
+    images: Dict[int, bytes] = {}
+    for record in log.records("page_image"):
+        images[record.payload["page_id"]] = record.payload["image"]
+    repaired = 0
+    for page_id in sorted(disk.torn_pages):
+        image = images.get(page_id)
+        if image is None:
+            continue
+        with db.pool.pin(page_id) as pinned:
+            pinned.data[:] = image
+            pinned.mark_dirty()
+        db.pool.flush_page(page_id)
+        repaired += 1
+    return repaired
+
+
+def _resume(
+    db: Database,
+    log: WriteAheadLog,
+    open_rec,
+    side_files: Optional[Dict[str, SideFile]],
+    faults: Optional[FaultInjector],
+    report: RecoveryReport,
+) -> RecoveryReport:
     begin_lsn = open_rec.lsn
     table_name = open_rec.payload["table"]
     index_order: List[str] = open_rec.payload["index_order"]
@@ -311,24 +399,36 @@ def recover(
             checkpoint = record
     if checkpoint is not None:
         restore_metadata(db, checkpoint.payload["metadata"])
+    if faults is not None:
+        faults.stage("recovery:after_restore")
 
+    # A structure counts as done only if a checkpoint *follows* its
+    # structure_done record.  The crash can land between the two
+    # appends, and then the restored metadata predates the structure's
+    # rebuild — skipping it would leave the catalog pointing at stale,
+    # partially freed pages.  Re-running the stage is idempotent.
     done: Set[str] = {
         r.payload["structure"]
         for r in log.records("structure_done")
         if r.payload["begin_lsn"] == begin_lsn
+        and checkpoint is not None
+        and r.lsn < checkpoint.lsn
     }
     materialized = {
         r.payload["name"]: r.payload
         for r in log.records("materialized")
         if r.payload["begin_lsn"] == begin_lsn
+        and checkpoint is not None
+        and r.lsn < checkpoint.lsn
     }
     if "keys" not in materialized:
         # The crash hit before anything was modified: abandon the run.
         log.append("bulk_end", begin_lsn=begin_lsn, abandoned=True)
+        report.abandoned = True
         return report
 
     runner = RecoverableBulkDelete(
-        db, table_name, open_rec.payload["column"], [], log
+        db, table_name, open_rec.payload["column"], [], log, faults=faults
     )
 
     def load(name: str) -> List[Tuple[int, ...]]:
@@ -406,6 +506,8 @@ def recover(
                 entries.append((rid.pack(), *keys))
             log.append("heap_deletes", structure="__table__", entries=entries)
             collected.extend(entries)
+            if faults is not None:
+                faults.redo_record("__table__")
 
         pre_count = table.heap.record_count
         table.heap.delete_many_sorted(to_delete, on_page_deletes=log_page)
@@ -433,6 +535,8 @@ def recover(
         r.payload["name"]: r.payload
         for r in log.records("materialized")
         if r.payload["begin_lsn"] == begin_lsn
+        and checkpoint is not None
+        and r.lsn < checkpoint.lsn
     }
     for name in index_order:
         if name in done:
@@ -464,6 +568,8 @@ def recover(
     # the WAL records the (crashed) coordinator forced at append time.
     if side_files is None:
         side_files = _rebuild_side_files_from_log(log, begin_lsn)
+    if faults is not None:
+        faults.stage("recovery:before_side_files")
     if side_files:
         applied_already = {
             r.payload["index"]
@@ -471,18 +577,54 @@ def recover(
             if r.payload.get("begin_lsn") == begin_lsn
         }
         for name, side in side_files.items():
-            if name in applied_already:
-                continue
             tree = table.index(name).tree
-            applied = side.apply_batch(tree)
+            if name in applied_already:
+                # A previous recovery applied this side-file, logged it,
+                # and crashed before ``bulk_end``.  The checkpoint we
+                # restored predates the application, so the in-memory
+                # entry count must be reconciled with the durable leaves.
+                _reconcile_entry_count(tree)
+                table.index(name).set_online()
+                continue
+            # Replay idempotently: a previous recovery attempt may have
+            # applied part of this side-file and crashed before logging
+            # ``side_file_applied``.
+            applied = side.apply_batch(tree, idempotent=True)
+            # Same staleness as above: any prefix that was durably
+            # applied before a crash is in the leaves but not in the
+            # restored checkpoint metadata.
+            _reconcile_entry_count(tree)
             report.side_files_applied[name] = applied
             table.index(name).set_online()
+            # Durability order per §3.2 ("the changes logged in the
+            # side-files ... have to be made durable"): flush the tree
+            # before the log can claim the side-file is applied, else a
+            # crash after the append silently loses the updates.
+            db.flush()
+            if faults is not None:
+                faults.stage(f"recovery:side_file:{name}")
             log.append(
                 "side_file_applied", begin_lsn=begin_lsn, index=name
             )
 
+    # The final flush mirrors the side-file rule for the stage re-runs
+    # above: everything recovery rebuilt must be durable before the
+    # bulk_end record closes the statement — with the log closed, a
+    # later restart will not look at this statement again.
+    db.flush()
     log.append("bulk_end", begin_lsn=begin_lsn)
     return report
+
+
+def _reconcile_entry_count(tree) -> None:
+    """Reset a tree's entry count to what its leaves actually hold.
+
+    Checkpoints are taken per *stage*; side-files are applied after the
+    last one.  Any side-file effect that became durable before a crash
+    is therefore in the leaves but never in checkpoint metadata, and no
+    redo arithmetic can recover the difference — recount instead.
+    """
+    tree._entry_count = sum(1 for _ in tree.items())
 
 
 def _rebuild_side_files_from_log(

@@ -27,11 +27,17 @@ fraction of a page write per record.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.errors import RecoveryError
 from repro.storage.disk import SimulatedDisk
+
+#: Payload key marking a torn (partially forced) final record.  Kept in
+#: sync with :data:`repro.faults.injector.TORN_RECORD_KEY` (the WAL must
+#: not import the fault package).
+_TORN_KEY = "__torn__"
 
 
 @dataclass(frozen=True)
@@ -41,6 +47,11 @@ class LogRecord:
     lsn: int
     kind: str
     payload: Dict[str, Any]
+
+    @property
+    def torn(self) -> bool:
+        """True for a partially forced record (restart truncates it)."""
+        return bool(self.payload.get(_TORN_KEY))
 
 
 class WriteAheadLog:
@@ -52,12 +63,23 @@ class WriteAheadLog:
     def __init__(self, disk: Optional[SimulatedDisk] = None) -> None:
         self.disk = disk
         self._records: List[LogRecord] = []
+        #: Fault-injection hook (:class:`repro.faults.FaultInjector`).
+        #: ``None`` keeps appends on the fast path.
+        self.fault_injector: Optional[Any] = None
 
     def append(self, kind: str, **payload: Any) -> int:
+        # The payload is deep-copied: once forced, a record is immutable
+        # even if the caller keeps mutating the dict it logged from
+        # (redo idempotence depends on replaying what was *forced*).
         lsn = len(self._records) + 1
-        self._records.append(LogRecord(lsn, kind, payload))
+        record = LogRecord(lsn, kind, copy.deepcopy(payload))
         if self.disk is not None:
             self.disk.clock.advance_ms(self.APPEND_COST_MS)
+        injector = self.fault_injector
+        if injector is None:
+            self._records.append(record)
+        else:
+            injector.on_wal_append(record, self._records.append)
         return lsn
 
     def records(self, kind: Optional[str] = None) -> Iterator[LogRecord]:
@@ -80,18 +102,54 @@ class WriteAheadLog:
         return len(self._records)
 
     def tail(self, n: int = 10) -> List[LogRecord]:
+        if n <= 0:
+            return []
         return self._records[-n:]
 
+    def truncate_torn_tail(self) -> Optional[LogRecord]:
+        """Drop a torn final record, returning it (or ``None``).
+
+        Models restart's checksum scan: a record whose force was
+        interrupted mid-write fails its checksum and the log is
+        truncated at the last intact record.  Only the *final* record
+        can legitimately be torn — an earlier torn record means the
+        device reordered forced writes, which the simulation never does.
+        """
+        if self._records and self._records[-1].torn:
+            return self._records.pop()
+        return None
+
     def find_open_bulk_delete(self) -> Optional[LogRecord]:
-        """The last ``bulk_begin`` without a matching ``bulk_end``."""
+        """The last ``bulk_begin`` without a matching ``bulk_end``.
+
+        Anomalies in the log *body* are real corruption and raise.  An
+        anomalous **final** record is tolerated: a crash can strike
+        after the force completed but before the writer's in-memory
+        state caught up, so the tail may carry a record the writer never
+        acted on (e.g. a ``bulk_end`` that does not match the open
+        statement).  A well-formed truncated log must never fail here.
+        """
         open_record: Optional[LogRecord] = None
-        for record in self._records:
+        last_index = len(self._records) - 1
+        for index, record in enumerate(self._records):
+            if record.torn:
+                if index == last_index:
+                    # An un-truncated torn tail; ignore it (callers that
+                    # want it gone run truncate_torn_tail first).
+                    continue
+                raise RecoveryError("torn record inside the log body")
             if record.kind == "bulk_begin":
                 open_record = record
             elif record.kind == "bulk_end":
                 if open_record is None:
+                    if index == last_index:
+                        continue
                     raise RecoveryError("bulk_end without bulk_begin")
                 if record.payload.get("begin_lsn") != open_record.lsn:
+                    if index == last_index:
+                        # Orphaned tail record; the open statement is
+                        # still the unit of recovery.
+                        continue
                     raise RecoveryError("interleaved bulk deletes in log")
                 open_record = None
         return open_record

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, Optional
 
 from repro.errors import BufferPoolError, StorageError
 from repro.storage.disk import SimulatedDisk
@@ -108,6 +108,13 @@ class BufferPool:
         # Bumped by invalidate_all(); pins taken before an invalidation
         # unwind without complaining that their frame vanished.
         self._epoch = 0
+        #: Full-page-image hook: called as ``sink(page_id, image)`` with
+        #: the page's *durable* bytes the first time a clean resident
+        #: frame is dirtied.  Recovery uses it to log pre-images so torn
+        #: writes can be repaired (fresh ``pin_new`` frames are born
+        #: dirty and are skipped — their durable pre-image is zeros and
+        #: nothing references them until a later flush).
+        self.page_image_sink: Optional[Callable[[int, bytes], None]] = None
 
     @classmethod
     def with_byte_budget(cls, disk: SimulatedDisk, budget_bytes: int) -> "BufferPool":
@@ -167,6 +174,13 @@ class BufferPool:
         if frame is None or frame.pin_count <= 0:
             raise BufferPoolError(f"unpin of page {page_id} that is not pinned")
         if dirty:
+            if not frame.dirty and self.page_image_sink is not None:
+                # Clean -> dirty: the disk still holds the last durable
+                # image of this page; capture it before it can be
+                # overwritten by a (possibly torn) write-back.
+                self.page_image_sink(
+                    page_id, self.disk.durable_image(page_id)
+                )
             frame.dirty = True
         frame.pin_count -= 1
 

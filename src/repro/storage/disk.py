@@ -169,6 +169,13 @@ class SimulatedDisk:
         #: ``None`` (the default) keeps every access on the fast path —
         #: a single attribute test and no metric objects at all.
         self.observer: Optional[object] = None
+        #: Fault-injection hook (:class:`repro.faults.FaultInjector`).
+        #: Same ``None``-is-fast-path contract as ``observer``.
+        self.fault_injector: Optional[object] = None
+        #: Page ids whose last write was torn (detected via the page
+        #: checksum on the next read in a real engine; here tracked
+        #: explicitly so recovery can repair from full-page images).
+        self.torn_pages: set = set()
         self._pages: Dict[int, bytes] = {}
         self._freed_ids: set = set()
         self._next_page_id = 1
@@ -252,7 +259,31 @@ class SimulatedDisk:
                 f"{self.page_size}-byte page"
             )
         self._charge(page_id, is_write=True)
+        injector = self.fault_injector
+        if injector is None:
+            self._store_page(page_id, data)
+        else:
+            injector.on_page_write(  # type: ignore[attr-defined]
+                page_id,
+                self._pages[page_id],
+                bytes(data),
+                lambda image: self._store_page(page_id, image),
+            )
+
+    def durable_image(self, page_id: int) -> bytes:
+        """The page's current durable bytes, without charging any I/O.
+
+        For inspection and full-page-image capture only — normal reads
+        go through :meth:`read_page`.
+        """
+        self._require_page(page_id)
+        return self._pages[page_id]
+
+    def _store_page(self, page_id: int, data: bytes) -> None:
         self._pages[page_id] = bytes(data)
+        if self.torn_pages:
+            # A complete rewrite of a torn page heals it.
+            self.torn_pages.discard(page_id)
 
     def read_pages_chained(self, page_ids: Iterable[int]) -> List[bytes]:
         """Read several pages with chained I/O (one request per run).

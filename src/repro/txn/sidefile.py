@@ -113,13 +113,24 @@ class SideFile:
             - self._applied_in_memory
         )
 
-    def apply_batch(self, tree: BLinkTree, limit: Optional[int] = None) -> int:
+    def apply_batch(
+        self,
+        tree: BLinkTree,
+        limit: Optional[int] = None,
+        idempotent: bool = False,
+    ) -> int:
         """Replay up to ``limit`` pending entries into ``tree``.
 
         Replay order matters (an insert followed by a delete of the same
         entry must cancel out), so spilled chunks are applied strictly
         before the in-memory tail, each FIFO.  Returns the number
         applied.
+
+        ``idempotent`` makes each entry a no-op when the tree already
+        reflects it (insert of a present entry, delete of an absent
+        one).  Crash recovery replays side-files rebuilt from the WAL
+        this way: an earlier recovery attempt may have applied a prefix
+        and crashed before durably recording that it did.
         """
         applied = 0
         while self._chunks and (limit is None or applied < limit):
@@ -133,10 +144,7 @@ class SideFile:
                 len(rows), limit - applied
             )
             for is_insert, key, rid in rows[:take]:
-                if is_insert:
-                    tree.insert(key, rid)
-                else:
-                    tree.delete(key, rid)
+                self._apply_one(tree, bool(is_insert), key, rid, idempotent)
             applied += take
             if take < len(rows):
                 rest = SpillFile(self.disk, width=3)
@@ -149,13 +157,25 @@ class SideFile:
             if limit is not None and applied >= limit:
                 break
             entry = self._memory[self._applied_in_memory]
-            if entry.op is SideFileOp.INSERT:
-                tree.insert(entry.key, entry.rid)
-            else:
-                tree.delete(entry.key, entry.rid)
+            self._apply_one(
+                tree, entry.op is SideFileOp.INSERT, entry.key, entry.rid,
+                idempotent,
+            )
             self._applied_in_memory += 1
             applied += 1
         return applied
+
+    @staticmethod
+    def _apply_one(
+        tree: BLinkTree, is_insert: bool, key: int, rid: int,
+        idempotent: bool,
+    ) -> None:
+        if idempotent and tree.contains(key, rid) == is_insert:
+            return
+        if is_insert:
+            tree.insert(key, rid)
+        else:
+            tree.delete(key, rid)
 
     def drain(
         self,

@@ -293,6 +293,66 @@ def test_multi_rule_pragma():
 
 
 # ---------------------------------------------------------------------------
+# code/crash-outside-faults
+# ---------------------------------------------------------------------------
+def test_raise_simulated_crash_flagged():
+    findings = lint(
+        """
+        from repro.faults import SimulatedCrash
+        def f():
+            raise SimulatedCrash("boom")
+        """
+    )
+    assert rule_ids(findings) == ["code/crash-outside-faults"]
+
+
+def test_raise_simulated_crash_dotted_flagged():
+    findings = lint(
+        """
+        import repro.faults.plan
+        def f():
+            raise repro.faults.plan.SimulatedCrash("boom")
+        """
+    )
+    assert rule_ids(findings) == ["code/crash-outside-faults"]
+
+
+def test_bare_reraise_and_other_exceptions_fine():
+    assert lint(
+        """
+        def f():
+            try:
+                g()
+            except ValueError:
+                raise
+            raise RuntimeError("not a crash")
+        """
+    ) == []
+
+
+def test_raise_simulated_crash_allowed_in_faults():
+    findings = lint(
+        """
+        from repro.faults.plan import SimulatedCrash
+        def f():
+            raise SimulatedCrash("boom")
+        """,
+        in_faults=True,
+    )
+    assert findings == []
+
+
+def test_raise_simulated_crash_pragma():
+    assert lint(
+        """
+        from repro.faults import SimulatedCrash
+        def f():
+            raise SimulatedCrash("x")  # lint: allow(crash-outside-faults)
+        """
+    ) == []
+
+
+# ---------------------------------------------------------------------------
 # misc behaviour
 # ---------------------------------------------------------------------------
 def test_syntax_error_reported_as_finding():
@@ -308,6 +368,7 @@ def test_every_rule_documented():
         "code/raw-page-io",
         "code/float-cost-eq",
         "code/adhoc-metrics",
+        "code/crash-outside-faults",
     }
     assert all(CODE_RULES.values())
 

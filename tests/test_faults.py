@@ -1,0 +1,318 @@
+"""Unit tests for :mod:`repro.faults` — the plan and the injector.
+
+The sweep itself is exercised in ``test_fault_sweep.py``; here we pin
+the injector's contract at the level of single durable events: exact
+crash placement, torn-write contents, dropped/torn WAL tails, buffer
+loss, and the observer wiring.
+"""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, SimulatedCrash
+from repro.faults.injector import TORN_RECORD_KEY
+from repro.recovery.wal import WriteAheadLog
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+
+
+def make_disk():
+    disk = SimulatedDisk(page_size=128)
+    file_id = disk.create_file()
+    return disk, file_id
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan validation
+# ---------------------------------------------------------------------------
+def test_plan_rejects_conflicting_wal_tail_modes():
+    with pytest.raises(ValueError):
+        FaultPlan(crash_after_event=1, drop_wal_tail=True,
+                  torn_wal_tail=True)
+
+
+def test_plan_rejects_modifiers_without_crash_event():
+    with pytest.raises(ValueError):
+        FaultPlan(torn_write=True)
+    with pytest.raises(ValueError):
+        FaultPlan(drop_wal_tail=True)
+    with pytest.raises(ValueError):
+        FaultPlan(torn_wal_tail=True)
+
+
+def test_plan_rejects_nonpositive_event():
+    with pytest.raises(ValueError):
+        FaultPlan(crash_after_event=0)
+
+
+def test_plan_is_empty_and_describe():
+    assert FaultPlan().is_empty
+    assert not FaultPlan(crash_after_event=3).is_empty
+    assert "event 3" in FaultPlan(crash_after_event=3).describe()
+    assert "torn_write" in FaultPlan(
+        crash_after_event=3, torn_write=True
+    ).describe()
+    assert "stage" in FaultPlan(crash_point="after_begin").describe()
+
+
+# ---------------------------------------------------------------------------
+# counting durable events
+# ---------------------------------------------------------------------------
+def test_empty_plan_counts_without_crashing():
+    disk, file_id = make_disk()
+    log = WriteAheadLog(disk)
+    injector = FaultInjector()
+    with injector.armed(disk, log=log):
+        page = disk.allocate_page(file_id)
+        disk.write_page(page, b"x" * 128)
+        log.append("bulk_begin", table="R")
+        disk.write_page(page, b"y" * 128)
+    assert injector.durable_event_count == 3
+    assert [kind for kind, _ in injector.durable_events] == [
+        "page", "wal", "page",
+    ]
+    assert not injector.crashed
+    # Everything committed normally.
+    assert disk.read_page(page) == b"y" * 128
+    assert len(log) == 1
+
+
+def test_crash_fires_exactly_at_kth_event():
+    disk, file_id = make_disk()
+    log = WriteAheadLog(disk)
+    injector = FaultInjector(FaultPlan(crash_after_event=2))
+    with injector.armed(disk, log=log):
+        page = disk.allocate_page(file_id)
+        disk.write_page(page, b"a" * 128)
+        with pytest.raises(SimulatedCrash):
+            log.append("bulk_begin", table="R")
+    assert injector.crashed
+    assert injector.durable_event_count == 2
+    # The crash is *after* the event commits: the record is in the log.
+    assert len(log) == 1
+
+
+def test_crash_loses_the_buffer_pool():
+    disk, file_id = make_disk()
+    pool = BufferPool(disk, capacity_pages=4)
+    page = disk.allocate_page(file_id)
+    disk.write_page(page, b"old " * 32)
+    with pool.pin(page) as pinned:
+        pinned.data[:4] = b"new!"
+        pinned.mark_dirty()
+    epoch = pool._epoch
+    injector = FaultInjector(FaultPlan(crash_after_event=1))
+    other = disk.allocate_page(file_id)
+    with injector.armed(disk, pool=pool):
+        with pytest.raises(SimulatedCrash):
+            disk.write_page(other, b"z" * 128)
+    assert pool._epoch > epoch
+    # The dirty, unflushed modification is gone; the disk has the old
+    # image.
+    assert disk.read_page(page).startswith(b"old ")
+
+
+def test_disarm_restores_normal_writes():
+    disk, file_id = make_disk()
+    injector = FaultInjector(FaultPlan(crash_after_event=1))
+    page = disk.allocate_page(file_id)
+    with pytest.raises(SimulatedCrash):
+        with injector.armed(disk):
+            disk.write_page(page, b"a" * 128)
+    assert disk.fault_injector is None
+    disk.write_page(page, b"b" * 128)  # no further crash
+    assert injector.durable_event_count == 1
+
+
+def test_double_arming_is_rejected():
+    disk, _ = make_disk()
+    first = FaultInjector()
+    second = FaultInjector()
+    first.arm(disk)
+    try:
+        with pytest.raises(RuntimeError):
+            second.arm(disk)
+    finally:
+        first.disarm()
+
+
+# ---------------------------------------------------------------------------
+# torn page writes
+# ---------------------------------------------------------------------------
+def test_torn_write_commits_half_old_half_new():
+    disk, file_id = make_disk()
+    page = disk.allocate_page(file_id)
+    disk.write_page(page, b"O" * 128)
+    injector = FaultInjector(
+        FaultPlan(crash_after_event=1, torn_write=True)
+    )
+    with injector.armed(disk):
+        with pytest.raises(SimulatedCrash):
+            disk.write_page(page, b"N" * 128)
+    assert disk.durable_image(page) == b"N" * 64 + b"O" * 64
+    assert page in disk.torn_pages
+    assert injector.torn_page_writes == 1
+
+
+def test_full_rewrite_heals_a_torn_page():
+    disk, file_id = make_disk()
+    page = disk.allocate_page(file_id)
+    disk.write_page(page, b"O" * 128)
+    injector = FaultInjector(
+        FaultPlan(crash_after_event=1, torn_write=True)
+    )
+    with injector.armed(disk):
+        with pytest.raises(SimulatedCrash):
+            disk.write_page(page, b"N" * 128)
+    disk.write_page(page, b"R" * 128)
+    assert page not in disk.torn_pages
+    assert disk.read_page(page) == b"R" * 128
+
+
+def test_torn_write_modifier_ignored_on_wal_events():
+    # The crash event is a WAL append, so torn_write has nothing to
+    # tear: the append commits whole, then the crash fires.
+    disk, _ = make_disk()
+    log = WriteAheadLog(disk)
+    injector = FaultInjector(
+        FaultPlan(crash_after_event=1, torn_write=True)
+    )
+    with injector.armed(disk, log=log):
+        with pytest.raises(SimulatedCrash):
+            log.append("bulk_begin", table="R")
+    assert len(log) == 1
+    assert not log.tail(1)[0].torn
+    assert injector.torn_page_writes == 0
+
+
+# ---------------------------------------------------------------------------
+# WAL tail loss
+# ---------------------------------------------------------------------------
+def test_drop_wal_tail_loses_the_record():
+    disk, _ = make_disk()
+    log = WriteAheadLog(disk)
+    log.append("bulk_begin", table="R")
+    injector = FaultInjector(
+        FaultPlan(crash_after_event=1, drop_wal_tail=True)
+    )
+    with injector.armed(disk, log=log):
+        with pytest.raises(SimulatedCrash):
+            log.append("bulk_end", begin_lsn=1)
+    assert [r.kind for r in log.records()] == ["bulk_begin"]
+    assert injector.dropped_wal_records == 1
+    # The never-completed force is still a (lost) durable event.
+    assert injector.durable_events == [("wal", "bulk_end (dropped)")]
+
+
+def test_torn_wal_tail_persists_a_mutilated_record():
+    disk, _ = make_disk()
+    log = WriteAheadLog(disk)
+    log.append("bulk_begin", table="R")
+    injector = FaultInjector(
+        FaultPlan(crash_after_event=1, torn_wal_tail=True)
+    )
+    with injector.armed(disk, log=log):
+        with pytest.raises(SimulatedCrash):
+            log.append("bulk_end", begin_lsn=1)
+    tail = log.tail(1)[0]
+    assert tail.torn
+    assert tail.payload == {TORN_RECORD_KEY: True}
+    assert injector.torn_wal_records == 1
+    # Restart's checksum scan truncates it.
+    dropped = log.truncate_torn_tail()
+    assert dropped is not None
+    assert [r.kind for r in log.records()] == ["bulk_begin"]
+
+
+def test_drop_wal_tail_modifier_ignored_on_page_events():
+    disk, file_id = make_disk()
+    log = WriteAheadLog(disk)
+    page = disk.allocate_page(file_id)
+    injector = FaultInjector(
+        FaultPlan(crash_after_event=1, drop_wal_tail=True)
+    )
+    with injector.armed(disk, log=log):
+        with pytest.raises(SimulatedCrash):
+            disk.write_page(page, b"x" * 128)
+    assert disk.durable_image(page) == b"x" * 128
+    assert injector.dropped_wal_records == 0
+
+
+# ---------------------------------------------------------------------------
+# named crash points
+# ---------------------------------------------------------------------------
+def test_stage_point_crashes_only_on_match():
+    disk, _ = make_disk()
+    injector = FaultInjector(FaultPlan(crash_point="after_table"))
+    with injector.armed(disk):
+        injector.stage("after_begin")
+        injector.stage("after_driving")
+        with pytest.raises(SimulatedCrash):
+            injector.stage("after_table")
+    assert "after_table" in injector.crash_description
+
+
+def test_redo_record_crashes_on_nth_occurrence():
+    disk, _ = make_disk()
+    injector = FaultInjector(
+        FaultPlan(crash_mid_structure=("I_R_B", 3))
+    )
+    with injector.armed(disk):
+        injector.redo_record("I_R_B")
+        injector.redo_record("I_R_A")  # other structure: not counted
+        injector.redo_record("I_R_B")
+        with pytest.raises(SimulatedCrash):
+            injector.redo_record("I_R_B")
+
+
+# ---------------------------------------------------------------------------
+# observer wiring
+# ---------------------------------------------------------------------------
+def test_fault_events_reach_the_observer():
+    from repro import Database
+    from repro.obs.observer import observed
+
+    db = Database(page_size=512, memory_bytes=8 * 512)
+    file_id = db.disk.create_file()
+    page = db.disk.allocate_page(file_id)
+    log = WriteAheadLog(db.disk)
+    injector = FaultInjector(FaultPlan(crash_after_event=2))
+    with observed(db) as obs:
+        with obs.span("faulted-run"):
+            with injector.armed(db.disk, pool=db.pool, log=log):
+                db.disk.write_page(page, b"a" * 512)
+                with pytest.raises(SimulatedCrash):
+                    log.append("bulk_begin", table="R")
+        counters = obs.metrics.snapshot()
+        root = obs.root_span
+    assert counters["faults.durable_events"] == 2
+    assert counters["faults.durable_events.page"] == 1
+    assert counters["faults.durable_events.wal"] == 1
+    assert counters["faults.crashes"] == 1
+    # The crash description lands on the enclosing span.
+    assert "bulk_begin" in root.attrs["fault"]
+
+
+def test_torn_write_and_tail_loss_counters():
+    from repro import Database
+    from repro.obs.observer import observed
+
+    db = Database(page_size=512, memory_bytes=8 * 512)
+    file_id = db.disk.create_file()
+    page = db.disk.allocate_page(file_id)
+    db.disk.write_page(page, b"o" * 512)
+    log = WriteAheadLog(db.disk)
+    with observed(db) as obs:
+        torn = FaultInjector(FaultPlan(crash_after_event=1,
+                                       torn_write=True))
+        with torn.armed(db.disk):
+            with pytest.raises(SimulatedCrash):
+                db.disk.write_page(page, b"n" * 512)
+        lost = FaultInjector(FaultPlan(crash_after_event=1,
+                                       drop_wal_tail=True))
+        with lost.armed(db.disk, log=log):
+            with pytest.raises(SimulatedCrash):
+                log.append("bulk_begin", table="R")
+        counters = obs.metrics.snapshot()
+    assert counters["faults.torn_page_writes"] == 1
+    assert counters["faults.wal_tail_lost"] == 1
+    assert counters["faults.crashes"] == 2

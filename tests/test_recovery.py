@@ -233,6 +233,128 @@ def test_side_files_rebuilt_from_wal(keys):
     assert any(r.kind == "side_file_applied" for r in log.records())
 
 
+def test_recovery_reentrant_after_crash_at_restore_point(keys):
+    """Crash recovery between the checkpoint-metadata restore and the
+    first stage re-run; a second recovery must still converge."""
+    from repro.faults import FaultInjector, FaultPlan
+
+    db, values = build()
+    log = WriteAheadLog(db.disk)
+    runner = RecoverableBulkDelete(
+        db, "R", "A", keys, log, crash_point="after_driving"
+    )
+    with pytest.raises(SimulatedCrash):
+        runner.run()
+    with pytest.raises(SimulatedCrash):
+        recover(db, log, faults=FaultInjector(
+            FaultPlan(crash_point="recovery:after_restore")
+        ))
+    report = recover(db, log)
+    assert report.resumed
+    assert not recover(db, log).resumed
+    check_equivalent(db, keys)
+
+
+def test_recovery_reentrant_after_crash_mid_recovery_sweep(keys):
+    """Crash the *recovery run's* table sweep mid-way, recover again."""
+    from repro.faults import FaultInjector, FaultPlan
+
+    db, values = build()
+    log = WriteAheadLog(db.disk)
+    runner = RecoverableBulkDelete(
+        db, "R", "A", keys, log, crash_point="after_driving"
+    )
+    with pytest.raises(SimulatedCrash):
+        runner.run()
+    with pytest.raises(SimulatedCrash):
+        recover(db, log, faults=FaultInjector(
+            FaultPlan(crash_mid_structure=("__table__", 2))
+        ))
+    recover(db, log)
+    check_equivalent(db, keys)
+
+
+def test_crash_during_side_file_application_applies_once(keys):
+    """Crash after the side-file was applied and flushed but before the
+    ``side_file_applied`` record: the second recovery replays it
+    idempotently — the entry ends up present exactly once."""
+    from repro.faults import FaultInjector, FaultPlan
+
+    db, values = build()
+    log = WriteAheadLog(db.disk)
+    runner = RecoverableBulkDelete(
+        db, "R", "A", keys, log, crash_point="after_table"
+    )
+    with pytest.raises(SimulatedCrash):
+        runner.run()
+    side = SideFile("I_R_B")
+    side.append(SideFileOp.INSERT, 123456789, 42)
+    with pytest.raises(SimulatedCrash):
+        recover(db, log, side_files={"I_R_B": side},
+                faults=FaultInjector(FaultPlan(
+                    crash_point="recovery:side_file:I_R_B"
+                )))
+    assert not any(r.kind == "side_file_applied" for r in log.records())
+    report = recover(db, log, side_files={"I_R_B": side})
+    tree = db.table("R").index("I_R_B").tree
+    entries = [e for e in tree.items() if e == (123456789, 42)]
+    assert entries == [(123456789, 42)]
+    # The replay skipped the already-present entry: 0 newly applied.
+    assert report.side_files_applied == {"I_R_B": 0}
+    # Net of the concurrent updater's entry, the state matches an
+    # uninterrupted run.
+    tree.delete(123456789, 42)
+    check_equivalent(db, keys)
+
+
+def test_side_file_changes_are_durable_before_applied_record(keys):
+    """Regression: the tree must be flushed *before* the log claims the
+    side-file is applied — otherwise a crash right after recovery
+    silently loses the concurrent updater's change."""
+    db, values = build()
+    log = WriteAheadLog(db.disk)
+    runner = RecoverableBulkDelete(
+        db, "R", "A", keys, log, crash_point="after_table"
+    )
+    with pytest.raises(SimulatedCrash):
+        runner.run()
+    side = SideFile("I_R_B")
+    side.append(SideFileOp.INSERT, 123456789, 42)
+    recover(db, log, side_files={"I_R_B": side})
+    # Power loss immediately after recovery returns.
+    db.pool.invalidate_all()
+    tree = db.table("R").index("I_R_B").tree
+    assert tree.contains(123456789, 42)
+    # And the statement's own changes survived too.
+    tree.delete(123456789, 42)
+    check_equivalent(db, keys)
+
+
+def test_crash_between_restore_and_side_files_is_recoverable(keys):
+    from repro.faults import FaultInjector, FaultPlan
+
+    db, values = build()
+    log = WriteAheadLog(db.disk)
+    runner = RecoverableBulkDelete(
+        db, "R", "A", keys, log, crash_point="after_table"
+    )
+    with pytest.raises(SimulatedCrash):
+        runner.run()
+    side = SideFile("I_R_B")
+    side.append(SideFileOp.INSERT, 123456789, 42)
+    with pytest.raises(SimulatedCrash):
+        recover(db, log, side_files={"I_R_B": side},
+                faults=FaultInjector(FaultPlan(
+                    crash_point="recovery:before_side_files"
+                )))
+    report = recover(db, log, side_files={"I_R_B": side})
+    assert report.side_files_applied == {"I_R_B": 1}
+    tree = db.table("R").index("I_R_B").tree
+    assert tree.contains(123456789, 42)
+    tree.delete(123456789, 42)
+    check_equivalent(db, keys)
+
+
 def test_coordinator_side_file_appends_reach_the_wal():
     from repro.txn.coordinator import BulkDeleteCoordinator, UpdateRouter
 

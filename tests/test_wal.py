@@ -39,6 +39,31 @@ def test_tail():
     assert [r.payload["i"] for r in log.tail(3)] == [7, 8, 9]
 
 
+def test_tail_of_zero_or_negative_is_empty():
+    # Regression: [-0:] is a full slice, so tail(0) used to return the
+    # whole log.
+    log = WriteAheadLog()
+    for i in range(5):
+        log.append("k", i=i)
+    assert log.tail(0) == []
+    assert log.tail(-3) == []
+
+
+def test_append_deep_copies_payload():
+    # Regression: the payload dict used to be stored by reference, so a
+    # caller mutating its dict after append() rewrote the "forced" log.
+    log = WriteAheadLog()
+    entries = [(1, 10), (2, 20)]
+    payload = {"structure": "ix_A", "entries": entries}
+    log.append("leaf_deletes", **payload)
+    payload["structure"] = "ix_B"
+    entries.append((3, 30))
+    entries[0] = (9, 99)
+    record = log.last("leaf_deletes")
+    assert record.payload["structure"] == "ix_A"
+    assert record.payload["entries"] == [(1, 10), (2, 20)]
+
+
 def test_find_open_bulk_delete_states():
     log = WriteAheadLog()
     assert log.find_open_bulk_delete() is None
@@ -51,17 +76,58 @@ def test_find_open_bulk_delete_states():
     assert log.find_open_bulk_delete().lsn == begin2
 
 
-def test_find_open_rejects_corrupt_logs():
+def test_find_open_rejects_corrupt_log_bodies():
+    # Anomalies with records *after* them cannot be mid-append losses;
+    # they are corruption and must raise.
     log = WriteAheadLog()
     log.append("bulk_end", begin_lsn=1)
+    log.append("checkpoint", begin_lsn=1)
     with pytest.raises(RecoveryError):
         log.find_open_bulk_delete()
     log2 = WriteAheadLog()
     a = log2.append("bulk_begin", table="R")
     log2.append("bulk_begin", table="S")
     log2.append("bulk_end", begin_lsn=a)  # mismatched nesting
+    log2.append("checkpoint", begin_lsn=a)
     with pytest.raises(RecoveryError):
         log2.find_open_bulk_delete()
+
+
+def test_find_open_tolerates_anomalous_final_record():
+    # Regression: a crash can strike after the final record's force
+    # completed but before the writer's in-memory state caught up.
+    # Recovery must never raise on such a well-formed truncated log.
+    log = WriteAheadLog()
+    log.append("bulk_end", begin_lsn=1)
+    assert log.find_open_bulk_delete() is None
+    log2 = WriteAheadLog()
+    a = log2.append("bulk_begin", table="R")
+    b = log2.append("bulk_begin", table="S")
+    log2.append("bulk_end", begin_lsn=a)  # orphaned tail record
+    # The open statement (S) is still the unit of recovery.
+    assert log2.find_open_bulk_delete().lsn == b
+
+
+def test_truncate_torn_tail():
+    from repro.recovery.wal import _TORN_KEY, LogRecord
+
+    log = WriteAheadLog()
+    log.append("bulk_begin", table="R")
+    log._records.append(LogRecord(2, "checkpoint", {_TORN_KEY: True}))
+    assert log.tail(1)[0].torn
+    # find_open skips an un-truncated torn tail rather than raising.
+    assert log.find_open_bulk_delete().kind == "bulk_begin"
+    dropped = log.truncate_torn_tail()
+    assert dropped is not None and dropped.kind == "checkpoint"
+    assert len(log) == 1
+    # Idempotent: a second truncation is a no-op.
+    assert log.truncate_torn_tail() is None
+    # A torn record in the log *body* is corruption.
+    log3 = WriteAheadLog()
+    log3._records.append(LogRecord(1, "x", {_TORN_KEY: True}))
+    log3.append("bulk_begin", table="R")
+    with pytest.raises(RecoveryError):
+        log3.find_open_bulk_delete()
 
 
 def test_append_charges_simulated_time():
