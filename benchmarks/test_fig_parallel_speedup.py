@@ -1,0 +1,75 @@
+"""Extension bench: multi-lane bulk delete on the four-branch workload.
+
+Pass criteria: ``lanes=1`` is bit-identical to the plain serial bulk
+run (the paper's single-disk testbed is the ``lanes=1`` special case);
+on dedicated lanes the index-maintenance region speeds up near-linearly
+(>= 0.8 k on k = 2, 4 lanes over four near-equal branches) and
+end-to-end time never grows; shared lanes lose every sequentiality
+discount and the run collapses to *worse* than serial, as the cost
+model predicts.
+"""
+
+from benchmarks.conftest import emit_report
+from repro.bench.experiments import fig_parallel_speedup
+from repro.bench.harness import run_approach
+from repro.bench.plots import render_series
+from repro.bench.report import format_table
+from repro.workload.generator import WorkloadConfig
+
+
+REGION = "speedup[index-maintenance]"
+
+
+def test_fig_parallel_speedup(benchmark, records):
+    series = benchmark.pedantic(
+        fig_parallel_speedup,
+        kwargs={"record_count": records},
+        rounds=1,
+        iterations=1,
+    )
+    dedicated = series.rows["dedicated"]
+    shared = series.rows["shared"]
+
+    report = render_series(series)
+    report += "\n" + format_table(
+        "Region speedup (serial sweep time / makespan) and end-to-end "
+        "simulated minutes",
+        "lanes",
+        series.x_values,
+        {
+            "dedicated region speedup": [
+                r.extra.get(REGION, 1.0) for r in dedicated
+            ],
+            "dedicated end-to-end": [r.scaled_minutes for r in dedicated],
+            "shared end-to-end": [r.scaled_minutes for r in shared],
+        },
+    )
+    emit_report("fig_parallel_speedup", report)
+
+    # lanes=1 takes the exact serial code path: same simulated time as
+    # a plain bulk run, to the last bit, in both contention modes.
+    serial = run_approach(
+        "bulk",
+        WorkloadConfig(
+            record_count=records,
+            index_columns=("A", "B", "C", "D2", "E"),
+            memory_paper_mb=5.0,
+        ),
+        0.15,
+    )
+    assert dedicated[0].sim_seconds == serial.sim_seconds
+    assert shared[0].sim_seconds == serial.sim_seconds
+
+    # Dedicated lanes: the four near-equal post-table branches speed
+    # up near-linearly, and end-to-end time never gets worse.
+    by_lanes = dict(zip(series.x_values, dedicated))
+    for k in (2, 4):
+        assert by_lanes[k].extra[REGION] >= 0.8 * k
+    assert dedicated[1].sim_seconds <= dedicated[0].sim_seconds
+    assert dedicated[2].sim_seconds <= dedicated[1].sim_seconds
+
+    # Shared lanes: interleaving on one device forfeits the sequential
+    # discounts and serializes the requests — worse than not
+    # parallelizing at all.
+    for r in shared[1:]:
+        assert r.sim_seconds > serial.sim_seconds

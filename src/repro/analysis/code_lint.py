@@ -19,7 +19,11 @@ corrupt that determinism — so these are lint rules, not review notes:
   estimates (``*_ms``, ``*_seconds``, ``*_minutes``, ``*cost*``),
 * ``code/adhoc-metrics`` — no mutating *another* object's ``.stats``
   counters outside ``repro/storage/`` and ``repro/obs/``; metric
-  emission goes through the :mod:`repro.obs` observer hooks.
+  emission goes through the :mod:`repro.obs` observer hooks,
+* ``code/clock-rewind`` — ``SimClock.rewind_to`` exists solely so the
+  lane scheduler can reposition simulated time between lanes; calling
+  it anywhere outside ``repro/parallel/`` would let ordinary operators
+  rewrite history.
 
 A deliberate exception carries a per-line pragma::
 
@@ -68,6 +72,12 @@ CODE_RULES: Dict[str, str] = {
         "injection goes through a FaultPlan + FaultInjector so every "
         "crash point is visible to the crash sweep and loses the "
         "buffer pool consistently"
+    ),
+    "code/clock-rewind": (
+        "SimClock.rewind_to repositions simulated time between lanes; "
+        "only the lane scheduler in repro/parallel/ may call it — "
+        "anywhere else it rewrites history and corrupts every span "
+        "and cost downstream"
     ),
 }
 
@@ -133,6 +143,9 @@ class _Visitor(ast.NodeVisitor):
     #: inside repro/faults/ — the injector is the one sanctioned place
     #: that raises SimulatedCrash
     in_faults: bool = False
+    #: inside repro/parallel/ — the lane scheduler is the one
+    #: sanctioned caller of SimClock.rewind_to
+    in_parallel: bool = False
     #: names bound by ``from time/datetime/random import X``
     clock_aliases: Set[str] = field(default_factory=set)
     random_aliases: Set[str] = field(default_factory=set)
@@ -177,6 +190,7 @@ class _Visitor(ast.NodeVisitor):
         self._check_wall_clock(node, dotted)
         self._check_random(node, dotted)
         self._check_raw_io(node)
+        self._check_clock_rewind(node)
         self.generic_visit(node)
 
     def _check_wall_clock(
@@ -235,6 +249,22 @@ class _Visitor(ast.NodeVisitor):
                 f".{node.func.attr}() bypasses the BufferPool; outside "
                 "repro/storage/ every page access must be pinned "
                 "through the pool so hits and evictions are accounted",
+            )
+
+    def _check_clock_rewind(self, node: ast.Call) -> None:
+        if self.in_parallel:
+            return
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "rewind_to"
+        ):
+            self._emit(
+                "code/clock-rewind",
+                node,
+                _dotted(node.func) or node.func.attr,
+                ".rewind_to() moves simulated time backwards; only the "
+                "lane scheduler (repro/parallel/) may reposition the "
+                "clock, and only between whole lanes of a region",
             )
 
     # -- stats mutations ----------------------------------------------
@@ -356,6 +386,7 @@ def lint_source(
     in_storage: bool = False,
     in_obs: bool = False,
     in_faults: bool = False,
+    in_parallel: bool = False,
 ) -> List[Finding]:
     """Lint one module's source text; returns surviving findings."""
     try:
@@ -373,7 +404,7 @@ def lint_source(
         ]
     visitor = _Visitor(
         filename=filename, in_storage=in_storage, in_obs=in_obs,
-        in_faults=in_faults,
+        in_faults=in_faults, in_parallel=in_parallel,
     )
     visitor.visit(tree)
     allowed = _allowed_rules(source.splitlines())
@@ -393,6 +424,7 @@ def lint_tree(root: Path) -> List[Finding]:
         in_storage = "storage" in rel.parts[:-1]
         in_obs = "obs" in rel.parts[:-1]
         in_faults = "faults" in rel.parts[:-1]
+        in_parallel = "parallel" in rel.parts[:-1]
         findings.extend(
             lint_source(
                 path.read_text(),
@@ -400,6 +432,7 @@ def lint_tree(root: Path) -> List[Finding]:
                 in_storage=in_storage,
                 in_obs=in_obs,
                 in_faults=in_faults,
+                in_parallel=in_parallel,
             )
         )
     return findings

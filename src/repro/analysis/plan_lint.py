@@ -34,6 +34,7 @@ from repro.catalog.database import Database
 from repro.core.operator import build_dag
 from repro.core.plans import BdMethod, BdPredicate, BulkDeletePlan, StepPlan
 from repro.errors import PlanningError
+from repro.parallel import CONTENTION_MODES
 from repro.query.hashtable import BYTES_PER_SET_ENTRY
 
 
@@ -281,6 +282,70 @@ def _rule_dag_shape(ctx: PlanContext) -> Iterator[Finding]:
             f"plan has {len(plan.steps)} steps but its DAG renders "
             f"{len(bd_nodes)} bd operators; the step list and the "
             "figure-style DAG disagree",
+        )
+
+
+@plan_rule(
+    "plan/parallel-lane-safety",
+    "concurrent lanes execute disjoint structures: no structure may "
+    "appear twice inside one parallel region, and the lane "
+    "configuration itself must be valid",
+)
+def _rule_parallel_lane_safety(ctx: PlanContext) -> Iterator[Finding]:
+    plan = ctx.plan
+    if plan.lanes < 1:
+        yield Finding(
+            "plan/parallel-lane-safety",
+            Severity.ERROR,
+            plan.table_name,
+            f"lanes={plan.lanes}; a plan needs at least one lane",
+        )
+        return
+    if plan.contention not in CONTENTION_MODES:
+        yield Finding(
+            "plan/parallel-lane-safety",
+            Severity.ERROR,
+            plan.table_name,
+            f"unknown contention mode {plan.contention!r}; expected one "
+            f"of {CONTENTION_MODES}",
+        )
+    if plan.lanes == 1 or ctx.is_horizontal:
+        return
+    # The executor runs two barrier-to-barrier regions; lanes within a
+    # region run concurrently, so a structure targeted twice in the
+    # same region would be mutated by two lanes at once.
+    region1 = [
+        plan.table_name if s.is_table else s.target
+        for s in plan.steps_before_table()
+        if s.target != plan.driving_index
+    ] + [plan.table_name]
+    region2 = [s.target for s in plan.steps_after_table()]
+    width = 1
+    for region_name, targets in (
+        ("pre-table", region1),
+        ("index-maintenance", region2),
+    ):
+        width = max(width, len(targets))
+        counts: Dict[str, int] = {}
+        for target in targets:
+            counts[target] = counts.get(target, 0) + 1
+        for target, count in sorted(counts.items()):
+            if count > 1:
+                yield Finding(
+                    "plan/parallel-lane-safety",
+                    Severity.ERROR,
+                    target,
+                    f"structure {target} appears {count} times in the "
+                    f"{region_name} parallel region; concurrent lanes "
+                    "must not share a mutable structure",
+                )
+    if plan.lanes > width:
+        yield Finding(
+            "plan/parallel-lane-safety",
+            Severity.WARNING,
+            plan.table_name,
+            f"{plan.lanes} lanes but the widest parallel region has "
+            f"only {width} branch(es); the extra lanes stay idle",
         )
 
 

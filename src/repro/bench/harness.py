@@ -87,6 +87,7 @@ def run_approach(
             prefer_method=BdMethod.SORT_MERGE, force_vertical=True,
         )
         deleted = result.records_deleted
+        _note_parallel(result, extra)
     elif approach == "bulk-hash":
         result = bulk_delete(
             db, "R", "A", keys, options=options,
@@ -131,6 +132,14 @@ def run_approach(
         extra=extra,
         trace=trace,
     )
+
+
+def _note_parallel(result, extra: Dict[str, float]) -> None:
+    """Surface per-region lane metrics of a multi-lane bulk delete."""
+    for region in getattr(result, "parallel_regions", []):
+        extra[f"speedup[{region.name}]"] = region.speedup
+        extra[f"makespan_ms[{region.name}]"] = region.makespan_ms
+        extra[f"serial_ms[{region.name}]"] = region.serial_ms
 
 
 @dataclass

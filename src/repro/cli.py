@@ -221,7 +221,7 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
     from repro.faults.sweep import SweepScenario
 
     scenario = dataclasses.replace(
-        SweepScenario(), records=args.records
+        SweepScenario(), records=args.records, lanes=args.lanes
     )
     report = crash_point_sweep(
         scenario=scenario,
@@ -316,6 +316,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                          default="keep",
                          help="what happens to the WAL record being "
                          "forced when the crash lands on it")
+    p_sweep.add_argument("--lanes", type=int, default=1,
+                         help="run the post-table index stages on K "
+                         "concurrent simulated I/O lanes (default 1, "
+                         "serial); the seeded scheduler keeps every "
+                         "crash point replayable")
     p_sweep.add_argument("--verbose", action="store_true",
                          help="print per-point progress")
     p_sweep.set_defaults(func=_cmd_faultsweep)

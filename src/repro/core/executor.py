@@ -15,7 +15,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.catalog.catalog import IndexInfo, TableInfo
 from repro.catalog.database import Database
@@ -34,8 +42,10 @@ from repro.core.plans import (
     BulkDeletePlan,
     StepPlan,
 )
+from repro.catalog.statistics import collect_table_statistics
 from repro.errors import PlanningError, PlanValidationError
 from repro.obs.trace import maybe_span
+from repro.parallel import DEDICATED, LaneScheduler, LaneTask
 from repro.query.hashtable import BoundedHashSet, HashTableOverflowError
 from repro.query.sort import ExternalSorter
 from repro.storage.disk import DiskStats
@@ -57,6 +67,18 @@ class BulkDeleteOptions:
     reclaim_heap_pages: bool = True
     #: Force all dirty pages to disk at the end (charges the writes).
     flush_at_end: bool = True
+    #: Concurrent I/O lanes for the independent plan branches after the
+    #: RID-list barrier.  ``1`` (the default) is the strictly serial
+    #: paper testbed — it takes the exact serial code path, so its
+    #: simulated times are bit-identical to pre-parallelism builds.
+    lanes: int = 1
+    #: ``"dedicated"`` models one disk per lane (near-linear speedup);
+    #: ``"shared"`` models lanes interleaving on one device, which
+    #: loses every sequentiality discount and serializes the requests.
+    contention: str = DEDICATED
+    #: Seed for the scheduler's lane tie-breaks; the same seed replays
+    #: the same interleaving (crash sweeps depend on this).
+    lane_seed: int = 0
 
 
 @dataclass
@@ -72,6 +94,9 @@ class BulkDeleteResult:
     #: Root :class:`repro.obs.trace.Span` of the execution, when an
     #: observer was attached to the database (``None`` otherwise).
     trace: Optional[object] = None
+    #: Per-region :class:`repro.parallel.RegionReport` objects when the
+    #: plan ran with ``lanes > 1`` (empty for serial execution).
+    parallel_regions: List[object] = field(default_factory=list)
 
     @property
     def elapsed_seconds(self) -> float:
@@ -191,80 +216,93 @@ def execute_plan(
                     spilled=rid_sorter.stats.spilled,
                 )
 
-        # --- unique indexes before the table (RID probes) -------------
-        for step in plan.steps_before_table():
-            if step.target == plan.driving_index:
-                continue
-            index = table.index(step.target)
+        if options.lanes == 1:
+            # Strictly serial single-disk execution — the paper's
+            # testbed.  This path is the original executor, untouched,
+            # so its simulated times stay bit-identical across builds.
+
+            # --- unique indexes before the table (RID probes) ---------
+            for step in plan.steps_before_table():
+                if step.target == plan.driving_index:
+                    continue
+                index = table.index(step.target)
+                with maybe_span(
+                    obs,
+                    f"bd[hash/rid] {step.target}",
+                    kind="bd",
+                    target=step.target,
+                ) as span:
+                    rid_set = BoundedHashSet(db.memory_bytes).build(
+                        rid_list
+                    )
+                    step_result = bd_index_hash_probe(
+                        index.tree, rid_set, db.disk,
+                        compact=options.compact_leaves,
+                    )
+                    _note_bd(span, step_result)
+                result.step_results.append(step_result)
+
+            # --- the base table ----------------------------------------
+            table_step = plan.table_step()
             with maybe_span(
                 obs,
-                f"bd[hash/rid] {step.target}",
+                f"bd[{table_step.method.value}/rid] {plan.table_name}",
                 kind="bd",
-                target=step.target,
+                target=plan.table_name,
             ) as span:
-                rid_set = BoundedHashSet(db.memory_bytes).build(rid_list)
-                step_result = bd_index_hash_probe(
-                    index.tree, rid_set, db.disk,
-                    compact=options.compact_leaves,
-                )
-                _note_bd(span, step_result)
-            result.step_results.append(step_result)
+                if table_step.method is BdMethod.HASH:
+                    rid_set = BoundedHashSet(db.memory_bytes).build(
+                        rid_list
+                    )
+                    rows, table_result = bd_heap_hash_probe(
+                        table, rid_set, db.disk
+                    )
+                else:
+                    rids = [RID.unpack(r) for r in rid_list]
+                    rows, table_result = bd_heap_sorted_rids(
+                        table, rids, db.disk, compact=options.compact_leaves
+                    )
+                _note_bd(span, table_result)
+                span.set(records_deleted=len(rows))
+            result.step_results.append(table_result)
+            result.records_deleted = len(rows)
 
-        # --- the base table --------------------------------------------
-        table_step = plan.table_step()
-        with maybe_span(
-            obs,
-            f"bd[{table_step.method.value}/rid] {plan.table_name}",
-            kind="bd",
-            target=plan.table_name,
-        ) as span:
-            if table_step.method is BdMethod.HASH:
-                rid_set = BoundedHashSet(db.memory_bytes).build(rid_list)
-                rows, table_result = bd_heap_hash_probe(
-                    table, rid_set, db.disk
-                )
-            else:
-                rids = [RID.unpack(r) for r in rid_list]
-                rows, table_result = bd_heap_sorted_rids(
-                    table, rids, db.disk, compact=options.compact_leaves
-                )
-            _note_bd(span, table_result)
-            span.set(records_deleted=len(rows))
-        result.step_results.append(table_result)
-        result.records_deleted = len(rows)
+            # --- remaining indexes, fed by projections of deleted rows
+            for step in plan.steps_after_table():
+                index = table.index(step.target)
+                with maybe_span(
+                    obs,
+                    f"bd[{step.method.value}/{step.predicate.value}] "
+                    f"{step.target}",
+                    kind="bd",
+                    target=step.target,
+                ) as span:
+                    step_result = _run_index_step(
+                        db, table, index, step, rows, rid_list, options
+                    )
+                    _note_bd(span, step_result)
+                result.step_results.append(step_result)
 
-        # --- remaining indexes, fed by projections of deleted rows ----
-        for step in plan.steps_after_table():
-            index = table.index(step.target)
-            with maybe_span(
-                obs,
-                f"bd[{step.method.value}/{step.predicate.value}] "
-                f"{step.target}",
-                kind="bd",
-                target=step.target,
-            ) as span:
-                step_result = _run_index_step(
-                    db, table, index, step, rows, rid_list, options
-                )
-                _note_bd(span, step_result)
-            result.step_results.append(step_result)
-
-        # --- non-B-tree indexes: "updated in the traditional way" (§5)
-        for index in table.hash_indexes():
-            with maybe_span(
-                obs,
-                f"hash-index {index.name}",
-                kind="bd",
-                target=index.name,
-            ) as span:
-                hash_result = BdResult(structure=index.name)
-                for rid, values in rows:
-                    key = index.key_for(values, table.schema)
-                    if index.hash_index.delete(key, rid.pack()):
-                        hash_result.deleted.append((key, rid.pack()))
-                db.disk.charge_cpu_records(len(rows))
-                _note_bd(span, hash_result)
-            result.step_results.append(hash_result)
+            # --- non-B-tree indexes: "updated in the traditional way"
+            for index in table.hash_indexes():
+                with maybe_span(
+                    obs,
+                    f"hash-index {index.name}",
+                    kind="bd",
+                    target=index.name,
+                ) as span:
+                    hash_result = BdResult(structure=index.name)
+                    for rid, values in rows:
+                        key = index.key_for(values, table.schema)
+                        if index.hash_index.delete(key, rid.pack()):
+                            hash_result.deleted.append((key, rid.pack()))
+                    db.disk.charge_cpu_records(len(rows))
+                    _note_bd(span, hash_result)
+                result.step_results.append(hash_result)
+        else:
+            rows = _execute_parallel(
+                db, table, plan, rid_list, options, result
+            )
 
         if options.reclaim_heap_pages:
             with maybe_span(
@@ -285,6 +323,263 @@ def execute_plan(
     result.io = db.disk.stats.delta_since(io_before)
     result.trace = getattr(root, "span", None)
     return result
+
+
+def _execute_parallel(
+    db: Database,
+    table: TableInfo,
+    plan: BulkDeletePlan,
+    rid_list: List[int],
+    options: BulkDeleteOptions,
+    result: BulkDeleteResult,
+) -> List[Row]:
+    """Run the post-barrier plan branches on ``options.lanes`` lanes.
+
+    The RID list is the barrier: everything after it is a set of
+    independent branches (one structure each), executed here in two
+    regions — the RID consumers (unique-index probes and the base-table
+    sweep), then the row consumers (remaining index sweeps and hash
+    index maintenance).  One RID hash set is built once and pinned
+    across lanes; branches never share a mutable structure.
+
+    Returns the deleted rows.  Region reports (makespan, per-lane
+    accounting) are appended to ``result.parallel_regions``;
+    ``result.step_results`` ends up in the same order as the serial
+    executor produces.
+    """
+    obs = db.obs
+    scheduler = LaneScheduler(
+        db.disk, options.lanes, options.contention, seed=options.lane_seed
+    )
+    stats = collect_table_statistics(table)
+
+    def leaf_pages(name: str) -> float:
+        index_stats = stats.indexes.get(name)
+        return float(index_stats.leaf_pages) if index_stats else 0.0
+
+    shared_set = _build_shared_rid_set(db, plan, rid_list)
+
+    def rid_consumer_set() -> BoundedHashSet:
+        # Pre-table probes and the hash table sweep must not silently
+        # degrade: like the serial path, an unbuildable set raises.
+        if shared_set is not None:
+            return shared_set
+        return BoundedHashSet(db.memory_bytes).build(rid_list)
+
+    # --- region 1: RID consumers (unique indexes + base table) --------
+    tasks: List[LaneTask] = []
+    for step in plan.steps_before_table():
+        if step.target == plan.driving_index:
+            continue
+        tasks.append(
+            LaneTask(
+                name=f"bd[hash/rid] {step.target}",
+                run=_make_probe_task(db, table, step, rid_consumer_set,
+                                     options),
+                estimated_ms=leaf_pages(step.target),
+                target=step.target,
+            )
+        )
+    table_step = plan.table_step()
+    tasks.append(
+        LaneTask(
+            name=f"bd[{table_step.method.value}/rid] {plan.table_name}",
+            run=_make_table_task(db, table, plan, rid_list,
+                                 rid_consumer_set, options),
+            estimated_ms=float(stats.heap_pages),
+            target=plan.table_name,
+        )
+    )
+    report = scheduler.run_region("pre-table", tasks, obs=obs)
+    result.parallel_regions.append(report)
+    outcomes = report.results()
+    result.step_results.extend(outcomes[:-1])
+    rows, table_result = outcomes[-1]
+    result.step_results.append(table_result)
+    result.records_deleted = len(rows)
+
+    # --- region 2: row consumers (remaining indexes, hash indexes) ----
+    tasks = []
+    for step in plan.steps_after_table():
+        tasks.append(
+            LaneTask(
+                name=(
+                    f"bd[{step.method.value}/{step.predicate.value}] "
+                    f"{step.target}"
+                ),
+                run=_make_index_task(db, table, step, rows, rid_list,
+                                     shared_set, options),
+                estimated_ms=leaf_pages(step.target),
+                target=step.target,
+            )
+        )
+    for index in table.hash_indexes():
+        tasks.append(
+            LaneTask(
+                name=f"hash-index {index.name}",
+                run=_make_hash_index_task(db, table, index, rows),
+                estimated_ms=0.0,
+                target=index.name,
+            )
+        )
+    if tasks:
+        report = scheduler.run_region("index-maintenance", tasks, obs=obs)
+        result.parallel_regions.append(report)
+        result.step_results.extend(report.results())
+    return rows
+
+
+def _build_shared_rid_set(
+    db: Database, plan: BulkDeletePlan, rid_list: Sequence[int]
+) -> Optional[BoundedHashSet]:
+    """Build the one RID hash set the lanes share, if any step hashes.
+
+    Building is pure in-memory work (no simulated I/O), so sharing does
+    not change costs — it models pinning one structure instead of one
+    copy per branch.  On overflow the set is ``None`` and each hash
+    step falls back exactly as the serial executor would (probes raise,
+    post-table steps partition).
+    """
+    needs_hash = (
+        any(
+            step.target != plan.driving_index
+            for step in plan.steps_before_table()
+        )
+        or plan.table_step().method is BdMethod.HASH
+        or any(
+            step.method is BdMethod.HASH
+            for step in plan.steps_after_table()
+        )
+    )
+    if not needs_hash:
+        return None
+    with maybe_span(
+        db.obs,
+        "build(RID-hash)",
+        kind="build",
+        target=plan.table_name,
+        shared=True,
+    ) as span:
+        try:
+            shared = BoundedHashSet(db.memory_bytes).build(rid_list)
+        except HashTableOverflowError:
+            span.set(overflow=True)
+            return None
+        span.set(entries=len(rid_list))
+    return shared
+
+
+def _make_probe_task(
+    db: Database,
+    table: TableInfo,
+    step: StepPlan,
+    rid_consumer_set: "Callable[[], BoundedHashSet]",
+    options: BulkDeleteOptions,
+) -> "Callable[[], BdResult]":
+    index = table.index(step.target)
+
+    def run() -> BdResult:
+        with maybe_span(
+            db.obs,
+            f"bd[hash/rid] {step.target}",
+            kind="bd",
+            target=step.target,
+        ) as span:
+            step_result = bd_index_hash_probe(
+                index.tree, rid_consumer_set(), db.disk,
+                compact=options.compact_leaves,
+            )
+            _note_bd(span, step_result)
+        return step_result
+
+    return run
+
+
+def _make_table_task(
+    db: Database,
+    table: TableInfo,
+    plan: BulkDeletePlan,
+    rid_list: Sequence[int],
+    rid_consumer_set: "Callable[[], BoundedHashSet]",
+    options: BulkDeleteOptions,
+) -> "Callable[[], Tuple[List[Row], BdResult]]":
+    table_step = plan.table_step()
+
+    def run() -> Tuple[List[Row], BdResult]:
+        with maybe_span(
+            db.obs,
+            f"bd[{table_step.method.value}/rid] {plan.table_name}",
+            kind="bd",
+            target=plan.table_name,
+        ) as span:
+            if table_step.method is BdMethod.HASH:
+                rows, table_result = bd_heap_hash_probe(
+                    table, rid_consumer_set(), db.disk
+                )
+            else:
+                rids = [RID.unpack(r) for r in rid_list]
+                rows, table_result = bd_heap_sorted_rids(
+                    table, rids, db.disk, compact=options.compact_leaves
+                )
+            _note_bd(span, table_result)
+            span.set(records_deleted=len(rows))
+        return rows, table_result
+
+    return run
+
+
+def _make_index_task(
+    db: Database,
+    table: TableInfo,
+    step: StepPlan,
+    rows: Sequence[Row],
+    rid_list: Sequence[int],
+    shared_set: Optional[BoundedHashSet],
+    options: BulkDeleteOptions,
+) -> "Callable[[], BdResult]":
+    index = table.index(step.target)
+
+    def run() -> BdResult:
+        with maybe_span(
+            db.obs,
+            f"bd[{step.method.value}/{step.predicate.value}] "
+            f"{step.target}",
+            kind="bd",
+            target=step.target,
+        ) as span:
+            step_result = _run_index_step(
+                db, table, index, step, rows, rid_list, options,
+                rid_set=shared_set,
+            )
+            _note_bd(span, step_result)
+        return step_result
+
+    return run
+
+
+def _make_hash_index_task(
+    db: Database,
+    table: TableInfo,
+    index: IndexInfo,
+    rows: Sequence[Row],
+) -> "Callable[[], BdResult]":
+    def run() -> BdResult:
+        with maybe_span(
+            db.obs,
+            f"hash-index {index.name}",
+            kind="bd",
+            target=index.name,
+        ) as span:
+            hash_result = BdResult(structure=index.name)
+            for rid, values in rows:
+                key = index.key_for(values, table.schema)
+                if index.hash_index.delete(key, rid.pack()):
+                    hash_result.deleted.append((key, rid.pack()))
+            db.disk.charge_cpu_records(len(rows))
+            _note_bd(span, hash_result)
+        return hash_result
+
+    return run
 
 
 def _note_bd(span: object, bd_result: BdResult) -> None:
@@ -367,20 +662,27 @@ def _run_index_step(
     rows: Sequence[Row],
     rid_list: Sequence[int],
     options: BulkDeleteOptions,
+    rid_set: Optional[BoundedHashSet] = None,
 ) -> BdResult:
-    """Apply one post-table index step with its planned method."""
+    """Apply one post-table index step with its planned method.
+
+    ``rid_set`` lets the parallel executor pin one shared RID hash set
+    across lanes; when ``None`` (the serial path) the step builds its
+    own, falling back to partitioning on overflow.
+    """
     if step.method is BdMethod.HASH:
-        try:
-            rid_set = BoundedHashSet(db.memory_bytes).build(rid_list)
-        except HashTableOverflowError:
-            pairs = _project_pairs(table, index, rows)
-            return bd_index_partitioned(
-                index.tree,
-                pairs,
-                db.memory_bytes,
-                db.disk,
-                compact=options.compact_leaves,
-            )
+        if rid_set is None:
+            try:
+                rid_set = BoundedHashSet(db.memory_bytes).build(rid_list)
+            except HashTableOverflowError:
+                pairs = _project_pairs(table, index, rows)
+                return bd_index_partitioned(
+                    index.tree,
+                    pairs,
+                    db.memory_bytes,
+                    db.disk,
+                    compact=options.compact_leaves,
+                )
         return bd_index_hash_probe(
             index.tree, rid_set, db.disk, compact=options.compact_leaves
         )
@@ -459,6 +761,7 @@ def bulk_delete(
     caller-supplied plans; planner output lints clean by construction).
     """
     if plan is None:
+        opts = options or BulkDeleteOptions()
         plan = choose_plan(
             db,
             table_name,
@@ -466,6 +769,8 @@ def bulk_delete(
             len(keys),
             prefer_method=prefer_method,
             force_vertical=force_vertical,
+            lanes=opts.lanes,
+            contention=opts.contention,
         )
     if plan.table_step().method is BdMethod.NESTED_LOOPS:
         from repro.core.traditional import traditional_delete

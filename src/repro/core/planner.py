@@ -34,6 +34,7 @@ from repro.core.plans import (
     StepPlan,
 )
 from repro.errors import PlanningError
+from repro.parallel import DEDICATED, SHARED
 from repro.query.hashtable import BYTES_PER_SET_ENTRY
 
 
@@ -130,6 +131,78 @@ def estimate_vertical_ms(
     )
 
 
+def makespan_ms(costs: List[float], lanes: int) -> float:
+    """Greedy-LPT makespan of independent branch costs on ``lanes`` lanes.
+
+    Mirrors the scheduler's lane assignment (longest estimate first,
+    least-busy lane) so the planner's parallel term predicts what
+    :class:`repro.parallel.LaneScheduler` actually produces on a
+    dedicated-disk configuration.
+    """
+    if not costs:
+        return 0.0
+    lane_busy = [0.0] * max(1, lanes)
+    for cost in sorted(costs, reverse=True):
+        lane_busy[lane_busy.index(min(lane_busy))] += cost
+    return max(lane_busy)
+
+
+def estimate_vertical_parallel_ms(
+    db: Database,
+    table: TableInfo,
+    n_deletes: int,
+    lanes: int,
+    contention: str = DEDICATED,
+    driving_index: Optional[str] = None,
+) -> CostBreakdown:
+    """Vertical cost with the post-barrier branches on ``lanes`` lanes.
+
+    The serial terms (delete-key sort, driving-index sweep, RID sort,
+    heap reclaim, flush) are exactly :func:`estimate_vertical_ms`'s;
+    only the independent branch sweeps — the heap and every non-driving
+    B-tree — change:
+
+    * ``dedicated``: their sum is replaced by the LPT **makespan** over
+      ``lanes`` lanes (``T_par = max over lanes of the branch sums``),
+    * ``shared``: every branch page is re-billed at the random rate
+      (interleaving forfeits the sequential discount) and the device
+      serializes the requests, so the term is the inflated **sum** —
+      strictly worse than serial execution.
+
+    ``lanes=1`` returns the serial estimate unchanged (same floats).
+    """
+    serial = estimate_vertical_ms(db, table, n_deletes)
+    if lanes <= 1:
+        return serial
+    params = db.disk.parameters
+    seq_ms = params.sequential_ms(db.page_size)
+    random_ms = params.random_ms(db.page_size)
+    stats = collect_table_statistics(table)
+    branches = [stats.heap_pages * seq_ms * 2.0]
+    for ix in table.btree_indexes():
+        if driving_index is not None and ix.name == driving_index:
+            continue
+        branches.append(stats.indexes[ix.name].leaf_pages * seq_ms * 2.0)
+    branch_sum = sum(branches)
+    if contention == SHARED:
+        parallel_ms = sum(b * (random_ms / seq_ms) for b in branches)
+        detail = (
+            f"{len(branches)} branches on one shared device: "
+            "sequential discounts lost, requests serialized"
+        )
+    else:
+        parallel_ms = makespan_ms(branches, lanes)
+        detail = (
+            f"LPT makespan of {len(branches)} branches "
+            f"on {lanes} dedicated lanes"
+        )
+    return CostBreakdown(
+        "vertical-parallel",
+        serial.io_ms - branch_sum + parallel_ms,
+        detail,
+    )
+
+
 def rid_hash_fits(db: Database, n_deletes: int) -> bool:
     """Would a RID hash set of the delete list fit in memory?"""
     return n_deletes * BYTES_PER_SET_ENTRY <= db.memory_bytes
@@ -142,25 +215,37 @@ def choose_plan(
     n_deletes: int,
     prefer_method: Optional[BdMethod] = None,
     force_vertical: bool = False,
+    lanes: int = 1,
+    contention: str = DEDICATED,
 ) -> BulkDeletePlan:
     """Pick order, method and predicate for every structure.
 
     ``prefer_method`` narrows the per-index method choice (e.g. the
     benchmarks pin SORT_MERGE to mirror the paper's evaluation); the
     planner still falls back to PARTITIONED_HASH when a requested HASH
-    build cannot fit in memory.
+    build cannot fit in memory.  ``lanes``/``contention`` cost the
+    vertical plan for multi-lane execution (``lanes=1``, the default,
+    is the serial paper testbed and leaves every estimate unchanged).
     """
     table = db.table(table_name)
     if not table.schema.has_column(column):
         raise PlanningError(f"{table_name} has no column {column}")
     driving = _pick_driving_index(table, column)
     horizontal = estimate_horizontal_ms(db, table, n_deletes)
-    vertical = estimate_vertical_ms(db, table, n_deletes)
+    if lanes > 1:
+        vertical = estimate_vertical_parallel_ms(
+            db, table, n_deletes, lanes, contention,
+            driving_index=driving.name if driving else None,
+        )
+    else:
+        vertical = estimate_vertical_ms(db, table, n_deletes)
     plan = BulkDeletePlan(
         table_name=table_name,
         column=column,
         driving_index=driving.name if driving else None,
         n_deletes=n_deletes,
+        lanes=lanes,
+        contention=contention,
     )
     # The estimate must describe the plan actually chosen: under
     # force_vertical the cheaper horizontal figure is not available,
@@ -183,6 +268,10 @@ def choose_plan(
         return plan
 
     plan.estimated_ms = vertical.io_ms
+    if lanes > 1:
+        plan.notes.append(
+            f"costed for {lanes} {contention} lane(s): {vertical.detail}"
+        )
     method = prefer_method or BdMethod.SORT_MERGE
     hash_fits = rid_hash_fits(db, n_deletes)
     if method is BdMethod.HASH and not hash_fits:

@@ -77,6 +77,13 @@ class BulkDeletePlan:
     #: plan linter uses it to verify hash-method memory feasibility;
     #: ``None`` (a hand-built plan) skips those checks.
     n_deletes: Optional[int] = None
+    #: Concurrent I/O lanes the plan was costed for.  ``1`` is the
+    #: paper's serial single-disk testbed; ``> 1`` schedules the
+    #: independent branches after the RID-list barrier concurrently.
+    lanes: int = 1
+    #: ``"dedicated"`` (one disk per lane) or ``"shared"`` (lanes
+    #: interleave on one device); only meaningful when ``lanes > 1``.
+    contention: str = "dedicated"
 
     def index_steps(self) -> List[StepPlan]:
         return [s for s in self.steps if not s.is_table]
@@ -124,6 +131,11 @@ class BulkDeletePlan:
         else:
             lines.append("  RID list already in physical order "
                          "(clustered driving index)")
+        if self.lanes > 1:
+            lines.append(
+                f"  parallelism: {self.lanes} {self.contention} lanes "
+                "for the branches after the RID-list barrier"
+            )
         for i, step in enumerate(self.steps, start=1):
             lines.append(f"  {i}. {step.describe(self.table_name)}")
         for note in self.notes:

@@ -69,6 +69,10 @@ class SweepScenario:
     memory_pages: int = 12
     child_rows: int = 8
     index_columns: Tuple[str, ...] = ("A", "B")
+    #: Lanes for the post-table index stages (1 = serial).  The lane
+    #: scheduler's interleaving is seeded and fixed, so durable-event
+    #: numbering stays stable and every crash point is replayable.
+    lanes: int = 1
 
     def build(self) -> "SweepCase":
         db = Database(
@@ -77,17 +81,32 @@ class SweepScenario:
         )
         rng = random.Random(self.seed)
         n = self.records
-        a_vals = rng.sample(range(10 * n), n)
-        b_vals = rng.sample(range(10 * n), n)
+        if "A" not in self.index_columns:
+            raise ReproError(
+                "SweepScenario needs the driving column A indexed"
+            )
+        # One int column per indexed name (A first: it drives the
+        # delete).  The default ("A", "B") draws the same two sample
+        # streams the original fixed schema did, so golden sweeps are
+        # unaffected; extra columns mean extra post-table index stages
+        # — the parallel branches a multi-lane sweep interleaves.
+        col_vals = {"A": rng.sample(range(10 * n), n)}
+        for col in self.index_columns:
+            if col != "A":
+                col_vals[col] = rng.sample(range(10 * n), n)
+        a_vals = col_vals["A"]
         db.create_table(TableSchema.of(
             "R",
-            [
-                Attribute.int_("A"),
-                Attribute.int_("B"),
-                Attribute.char("PAD", 24),
-            ],
+            [Attribute.int_(col) for col in self.index_columns]
+            + [Attribute.char("PAD", 24)],
         ))
-        db.load_table("R", list(zip(a_vals, b_vals, ["p"] * n)))
+        db.load_table(
+            "R",
+            list(zip(
+                *[col_vals[col] for col in self.index_columns],
+                ["p"] * n,
+            )),
+        )
         for col in self.index_columns:
             db.create_index("R", col, unique=(col == "A"))
         count = max(1, int(n * self.delete_fraction))
@@ -277,6 +296,7 @@ def crash_point_sweep(
     RecoverableBulkDelete(
         case.db, "R", "A", case.keys, case.log,
         faults=counter, full_page_writes=full_page_writes,
+        lanes=scenario.lanes,
     ).run()
     oracle = capture_state(case.db)
     oracle_problems = integrity_problems(case.db, case.registry, case.keys)
@@ -358,6 +378,7 @@ def _run_point(
         case.db, "R", "A", case.keys, case.log,
         faults=FaultInjector(plan_for(event)),
         full_page_writes=full_page_writes,
+        lanes=scenario.lanes,
     )
     try:
         runner.run()
@@ -392,7 +413,8 @@ def _run_point(
         # re-issues it.  Legitimate only from the pristine state.
         if state == initial:
             RecoverableBulkDelete(
-                case.db, "R", "A", case.keys, case.log
+                case.db, "R", "A", case.keys, case.log,
+                lanes=scenario.lanes,
             ).run()
             state = capture_state(case.db)
     if state != oracle:

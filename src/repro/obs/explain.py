@@ -132,6 +132,7 @@ def explain_analyze(
     estimate-vs-actual comparison against ``plan.estimated_ms``.
     """
     if plan is None:
+        opts = options or BulkDeleteOptions()
         plan = choose_plan(
             db,
             table_name,
@@ -139,6 +140,8 @@ def explain_analyze(
             len(keys),
             prefer_method=prefer_method,
             force_vertical=force_vertical,
+            lanes=opts.lanes,
+            contention=opts.contention,
         )
     attached_here = db.obs is None
     if attached_here:

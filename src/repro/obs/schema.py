@@ -8,7 +8,9 @@ cannot express —
 
 * spans nest: every child interval lies within its parent's,
 * ``elapsed_ms`` is ``end_ms - start_ms`` and ``self_ms`` is the
-  elapsed time minus the children's,
+  elapsed time minus the *union* of the children's intervals (equal to
+  their plain sum for serial children; concurrent lane spans may
+  overlap and their overlap counts once),
 * inclusive I/O covers the children: no child's counter exceeds its
   parent's, and ``self_io`` is exactly ``io`` minus the children's
   (the reconciliation the accounting tests rely on).
@@ -24,7 +26,7 @@ import json
 import sys
 from typing import Any, Dict, List, Optional
 
-from repro.obs.trace import BUFFER_FIELDS, IO_FIELDS
+from repro.obs.trace import BUFFER_FIELDS, IO_FIELDS, interval_union_ms
 
 SCHEMA_VERSION = 1
 
@@ -98,7 +100,7 @@ def validate_span(
         errors.append(f"{path}: 'children' must be an array")
         return errors
 
-    child_elapsed = 0.0
+    child_intervals: List[tuple] = []
     child_io: Dict[str, float] = {field: 0.0 for field in IO_FIELDS}
     for i, child in enumerate(children):
         child_path = f"{path}.children[{i}]"
@@ -113,16 +115,18 @@ def validate_span(
                     f"{child_path}: child interval escapes its parent "
                     "(spans must nest)"
                 )
-            child_elapsed += child["end_ms"] - child["start_ms"]
+            child_intervals.append((child["start_ms"], child["end_ms"]))
         if isinstance(child.get("io"), dict):
             for field in IO_FIELDS:
                 value = child["io"].get(field)
                 if _num(value):
                     child_io[field] += value
 
+    child_elapsed = interval_union_ms(child_intervals)
     if abs(span["self_ms"] - (span["elapsed_ms"] - child_elapsed)) > _EPS:
         errors.append(
-            f"{path}: self_ms != elapsed_ms - sum(children elapsed)"
+            f"{path}: self_ms != elapsed_ms - union(children intervals) "
+            "(serial children: their plain sum)"
         )
     if io is not None and self_io is not None:
         for field in IO_FIELDS:

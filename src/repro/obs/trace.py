@@ -55,6 +55,30 @@ def _io_minus(a: DiskStats, b: DiskStats) -> DiskStats:
     return a.delta_since(b)
 
 
+def interval_union_ms(intervals: List[tuple]) -> float:
+    """Total length covered by ``(start_ms, end_ms)`` intervals.
+
+    For non-overlapping intervals in ascending order (serial children,
+    adjacent or gapped) this sums the individual lengths in list order,
+    so it is bit-identical to the plain ``sum(end - start)`` the serial
+    accounting always used.  Strictly overlapping intervals (concurrent
+    lane spans) are merged so the overlap is counted once.
+    """
+    total = 0.0
+    cover_start: Optional[float] = None
+    cover_end = 0.0
+    for start, end in sorted(intervals):
+        if cover_start is None or start >= cover_end:
+            if cover_start is not None:
+                total += cover_end - cover_start
+            cover_start, cover_end = start, end
+        elif end > cover_end:
+            cover_end = end
+    if cover_start is not None:
+        total += cover_end - cover_start
+    return total
+
+
 @dataclass
 class Span:
     """One operator's measured interval (simulated time + I/O deltas)."""
@@ -84,8 +108,18 @@ class Span:
 
     @property
     def self_ms(self) -> float:
-        """Exclusive simulated time (children subtracted)."""
-        return self.elapsed_ms - sum(c.elapsed_ms for c in self.children)
+        """Exclusive simulated time (children subtracted).
+
+        Children are subtracted as the length of the *union* of their
+        intervals: for serial (non-overlapping) children this is the
+        plain sum of their elapsed times, unchanged; for concurrent
+        lane spans — which legitimately overlap in simulated time —
+        the overlap counts once, so a parallel region's exclusive time
+        is its makespan minus the covered span, never negative.
+        """
+        return self.elapsed_ms - interval_union_ms(
+            [(c.start_ms, c.end_ms) for c in self.children]
+        )
 
     @property
     def self_io(self) -> DiskStats:

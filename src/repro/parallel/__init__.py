@@ -1,0 +1,26 @@
+"""Multi-lane parallel execution of bulk-delete plan branches.
+
+See :mod:`repro.parallel.lanes` for the scheduler and the contention
+model, and ``docs/parallelism.md`` for the full write-up (lane model,
+makespan formula, determinism guarantees under fault injection).
+"""
+
+from repro.parallel.lanes import (
+    CONTENTION_MODES,
+    DEDICATED,
+    SHARED,
+    LaneScheduler,
+    LaneTask,
+    RegionReport,
+    TaskReport,
+)
+
+__all__ = [
+    "CONTENTION_MODES",
+    "DEDICATED",
+    "SHARED",
+    "LaneScheduler",
+    "LaneTask",
+    "RegionReport",
+    "TaskReport",
+]

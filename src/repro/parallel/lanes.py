@@ -1,0 +1,308 @@
+"""Simulated-time lane scheduler for independent plan branches.
+
+Once the RID list is materialized, the vertical plan's remaining ``bd``
+applications are independent branches of the DAG: each consumes the
+same (pinned) RID list or row projection and touches a structure no
+other branch touches.  On the paper's single-disk testbed they run one
+after another and total time is the *sum* of the sweeps; on N disks —
+or an async submission queue with N outstanding requests — they can
+run concurrently and total time is the *makespan*, the maximum over
+lanes.
+
+:class:`LaneScheduler` executes such a region.  Tasks still run one at
+a time in host order (Python), but each runs at its lane's simulated
+offset: before a task starts, the shared :class:`~repro.storage.disk.
+SimClock` is repositioned to ``barrier + lane_busy[lane]``; after the
+region, it is advanced to ``barrier + makespan``.  Disk *counters* are
+never rewound — only the clock is — so every I/O-count reconciliation
+invariant of :mod:`repro.obs` survives unchanged, and per-lane
+:class:`~repro.storage.disk.DiskStats` roll up exactly to the region's
+global delta.
+
+Contention semantics (``contention=``):
+
+* ``dedicated`` — one spindle per lane.  Streams keep their
+  sequentiality discounts and ``makespan = max(lane busy times)``.
+* ``shared`` — all lanes interleave on one device.  Every access is
+  billed random (the head moves away between any two accesses of a
+  stream, see :meth:`SimulatedDisk.begin_lane`) *and* the device
+  serializes the requests, so ``makespan = sum(task busy times)`` —
+  strictly worse than serial execution, which at least kept the
+  discounts.
+
+Determinism: tasks are assigned to lanes by greedy LPT over their
+estimated costs (deterministic; ties between equally-busy lanes broken
+by a ``random.Random(seed)`` stream), and executed in that fixed
+order.  The same ``(tasks, lanes, contention, seed)`` always produces
+the same interleaving — which is what keeps the crash-point sweep
+replayable under parallel execution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.obs.trace import maybe_span
+from repro.storage.disk import DiskStats, SimulatedDisk
+
+#: One spindle per lane: discounts kept, makespan = max over lanes.
+DEDICATED = "dedicated"
+#: One device for all lanes: discounts lost, makespan = sum of tasks.
+SHARED = "shared"
+CONTENTION_MODES = (DEDICATED, SHARED)
+
+#: Tolerance for float time comparisons in reconciliation checks.
+_EPS = 1e-6
+
+
+@dataclass
+class LaneTask:
+    """One independent branch: a callable plus scheduling metadata."""
+
+    name: str
+    run: Callable[[], Any]
+    #: Planner-style cost estimate used for LPT lane assignment.  Zero
+    #: estimates degrade to plan order (still deterministic).
+    estimated_ms: float = 0.0
+    #: Structure the task mutates (span ``target``; lane-safety lint).
+    target: Optional[str] = None
+
+
+@dataclass
+class TaskReport:
+    """Where and when one task ran, and what it did."""
+
+    name: str
+    target: Optional[str]
+    index: int  # position in the submitted task list
+    lane: int
+    start_ms: float
+    end_ms: float
+    io: DiskStats
+    result: Any
+
+    @property
+    def busy_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass
+class RegionReport:
+    """One parallel region's outcome and its per-lane accounting."""
+
+    name: str
+    lanes: int
+    contention: str
+    barrier_ms: float
+    makespan_ms: float = 0.0
+    #: Sum of task busy times — what serial execution would have taken
+    #: (with dedicated billing this matches the serial code path).
+    serial_ms: float = 0.0
+    lane_busy_ms: Dict[int, float] = field(default_factory=dict)
+    lane_io: Dict[int, DiskStats] = field(default_factory=dict)
+    #: Global DiskStats delta over the region (equals the lane rollup).
+    io: DiskStats = field(default_factory=DiskStats)
+    tasks: List[TaskReport] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        """Serial time over makespan (1.0 for an empty region)."""
+        if self.makespan_ms <= 0.0:
+            return 1.0
+        return self.serial_ms / self.makespan_ms
+
+    def results(self) -> List[Any]:
+        """Task results in *submission* order (not execution order)."""
+        return [
+            t.result for t in sorted(self.tasks, key=lambda t: t.index)
+        ]
+
+    def reconciliation_problems(self) -> List[str]:
+        """Pinned rollup invariants; empty list when they all hold.
+
+        * the per-lane rollup equals the region's global delta
+          (counters exactly, I/O time within float tolerance),
+        * every lane's busy time fits inside the makespan (dedicated)
+          or their sum is the makespan (shared),
+        * the region's serial time is the sum of its tasks'.
+        """
+        problems: List[str] = []
+        rollup = DiskStats.merged(self.lane_io.values())
+        for fname in (
+            "reads", "writes", "random_reads", "sequential_reads",
+            "near_sequential_reads", "random_writes", "sequential_writes",
+            "near_sequential_writes", "pages_allocated", "pages_freed",
+        ):
+            lane_total = getattr(rollup, fname)
+            region_total = getattr(self.io, fname)
+            if lane_total != region_total:
+                problems.append(
+                    f"lane rollup {fname}={lane_total} != region "
+                    f"{fname}={region_total}"
+                )
+        if abs(rollup.io_time_ms - self.io.io_time_ms) > _EPS:
+            problems.append(
+                f"lane rollup io_time_ms={rollup.io_time_ms} != region "
+                f"io_time_ms={self.io.io_time_ms}"
+            )
+        busy_values = list(self.lane_busy_ms.values())
+        if self.contention == SHARED and len(self.tasks) > 1:
+            if abs(sum(busy_values) - self.makespan_ms) > _EPS:
+                problems.append(
+                    "shared makespan is not the sum of lane busy times"
+                )
+        elif busy_values:
+            if max(busy_values) > self.makespan_ms + _EPS:
+                problems.append("a lane is busy beyond the makespan")
+            if abs(max(busy_values) - self.makespan_ms) > _EPS:
+                problems.append(
+                    "dedicated makespan is not the max lane busy time"
+                )
+        if abs(sum(t.busy_ms for t in self.tasks) - self.serial_ms) > _EPS:
+            problems.append("serial_ms is not the sum of task busy times")
+        return problems
+
+
+class LaneScheduler:
+    """Executes independent tasks on ``lanes`` simulated I/O lanes."""
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        lanes: int,
+        contention: str = DEDICATED,
+        seed: int = 0,
+    ) -> None:
+        if lanes < 1:
+            raise ReproError(f"lanes must be >= 1, got {lanes}")
+        if contention not in CONTENTION_MODES:
+            raise ReproError(
+                f"contention must be one of {CONTENTION_MODES}, "
+                f"got {contention!r}"
+            )
+        self.disk = disk
+        self.lanes = lanes
+        self.contention = contention
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def run_region(
+        self,
+        name: str,
+        tasks: Sequence[LaneTask],
+        obs: Optional[Any] = None,
+    ) -> RegionReport:
+        """Run one barrier-to-barrier region of independent tasks.
+
+        Returns when every task has run and the clock stands at
+        ``barrier + makespan``.  Exceptions (including injected
+        crashes) propagate after the active lane is released; the clock
+        is then wherever the failing task left it.
+        """
+        clock = self.disk.clock
+        barrier = clock.now_ms
+        report = RegionReport(
+            name=name,
+            lanes=self.lanes,
+            contention=self.contention,
+            barrier_ms=barrier,
+        )
+        if not tasks:
+            return report
+        lane_busy: Dict[int, float] = {
+            lane: 0.0 for lane in range(self.lanes)
+        }
+        contended = (
+            self.contention == SHARED
+            and self.lanes > 1
+            and len(tasks) > 1
+        )
+        # Greedy LPT: longest estimate first, original order for ties.
+        order = sorted(
+            range(len(tasks)),
+            key=lambda i: (-tasks[i].estimated_ms, i),
+        )
+        io_region_before = self.disk.stats.snapshot()
+        with maybe_span(
+            obs,
+            f"parallel[{name}]",
+            kind="parallel",
+            lanes=self.lanes,
+            contention=self.contention,
+            tasks=len(tasks),
+        ) as region_span:
+            for i in order:
+                task = tasks[i]
+                lane = self._pick_lane(lane_busy)
+                start = barrier + lane_busy[lane]
+                self._position_clock(start)
+                io_before = self.disk.stats.snapshot()
+                self.disk.begin_lane(lane, contended=contended)
+                try:
+                    with maybe_span(
+                        obs,
+                        f"lane[{lane}] {task.name}",
+                        kind="lane",
+                        target=task.target,
+                        lane=lane,
+                    ):
+                        outcome = task.run()
+                finally:
+                    self.disk.end_lane()
+                lane_busy[lane] = clock.now_ms - barrier
+                report.tasks.append(
+                    TaskReport(
+                        name=task.name,
+                        target=task.target,
+                        index=i,
+                        lane=lane,
+                        start_ms=start,
+                        end_ms=clock.now_ms,
+                        io=self.disk.stats.delta_since(io_before),
+                        result=outcome,
+                    )
+                )
+            report.serial_ms = sum(t.busy_ms for t in report.tasks)
+            if contended:
+                # The shared device serializes the lanes' requests: the
+                # region is over only when their total work has drained.
+                makespan = report.serial_ms
+            else:
+                makespan = max(lane_busy.values())
+            self._position_clock(barrier + makespan)
+            report.makespan_ms = makespan
+            region_span.set(
+                makespan_ms=makespan,
+                serial_ms=report.serial_ms,
+                speedup=report.speedup,
+            )
+        report.lane_busy_ms = {
+            lane: busy for lane, busy in lane_busy.items() if busy > 0.0
+        }
+        for task_report in report.tasks:
+            lane_io = report.lane_io.setdefault(
+                task_report.lane, DiskStats()
+            )
+            lane_io.merge(task_report.io)
+        report.io = self.disk.stats.delta_since(io_region_before)
+        return report
+
+    # ------------------------------------------------------------------
+    def _pick_lane(self, lane_busy: Dict[int, float]) -> int:
+        """Least-busy lane; seeded random tie-break for equal lanes."""
+        best = min(lane_busy.values())
+        tied = [lane for lane, busy in lane_busy.items() if busy <= best]
+        if len(tied) == 1:
+            return tied[0]
+        return tied[self._rng.randrange(len(tied))]
+
+    def _position_clock(self, target_ms: float) -> None:
+        clock = self.disk.clock
+        if target_ms < clock.now_ms:
+            clock.rewind_to(target_ms)
+        else:
+            clock.advance_ms(target_ms - clock.now_ms)

@@ -34,6 +34,7 @@ from repro.core.bulk_ops import bd_heap_sorted_rids, bd_index_sort_merge
 from repro.errors import RecoveryError, ReproError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, SimulatedCrash
+from repro.parallel import DEDICATED, LaneScheduler, LaneTask
 from repro.query.spill import SpillFile
 from repro.recovery.snapshot import capture_metadata, restore_metadata
 from repro.recovery.wal import WriteAheadLog
@@ -79,6 +80,13 @@ class RecoverableBulkDelete:
 
     ``full_page_writes`` logs a ``page_image`` record the first time a
     clean page is dirtied, so recovery can repair torn page writes.
+
+    ``lanes > 1`` runs the post-table index stages on concurrent
+    simulated I/O lanes.  The scheduler's interleaving is a pure
+    function of ``(stages, lanes, contention, lane_seed)``, so a crash
+    point that names a durable event always lands on the same event —
+    the sweep stays replayable.  Recovery itself is always serial
+    (redo is idempotent; there is nothing to win by racing it).
     """
 
     def __init__(
@@ -92,6 +100,9 @@ class RecoverableBulkDelete:
         crash_mid_structure: Optional[Tuple[str, int]] = None,
         faults: Optional[FaultInjector] = None,
         full_page_writes: bool = False,
+        lanes: int = 1,
+        contention: str = DEDICATED,
+        lane_seed: int = 0,
     ) -> None:
         self.db = db
         self.table_name = table_name
@@ -105,6 +116,9 @@ class RecoverableBulkDelete:
             ))
         self.faults = faults
         self.full_page_writes = full_page_writes
+        self.lanes = lanes
+        self.contention = contention
+        self.lane_seed = lane_seed
 
     # ------------------------------------------------------------------
     def run(self) -> int:
@@ -170,10 +184,30 @@ class RecoverableBulkDelete:
         self._checkpoint(begin_lsn, "__table__")
         self._maybe_crash("after_table")
 
-        for name in others:
-            self._run_index(begin_lsn, name)
-            self._checkpoint(begin_lsn, name)
-            self._maybe_crash(f"after_index:{name}")
+        if self.lanes == 1:
+            for name in others:
+                self._run_index(begin_lsn, name)
+                self._checkpoint(begin_lsn, name)
+                self._maybe_crash(f"after_index:{name}")
+        elif others:
+            # Each lane task carries its own checkpoint and crash
+            # point, so the durable-event order matches the (fixed,
+            # seeded) execution order and the sweep stays replayable.
+            scheduler = LaneScheduler(
+                db.disk, self.lanes, self.contention, seed=self.lane_seed
+            )
+            scheduler.run_region(
+                "index-maintenance",
+                [
+                    LaneTask(
+                        name=f"bd[sort-merge/rid] {name}",
+                        run=self._make_index_stage(begin_lsn, name),
+                        target=name,
+                    )
+                    for name in others
+                ],
+                obs=db.obs,
+            )
 
         self._maybe_crash("before_end")
         self.log.append("bulk_end", begin_lsn=begin_lsn)
@@ -232,6 +266,14 @@ class RecoverableBulkDelete:
             )
             self._materialize(f"pairs:{ix.name}", 2, pairs, begin_lsn)
         return len(rows)
+
+    def _make_index_stage(self, begin_lsn: int, name: str):
+        def stage() -> None:
+            self._run_index(begin_lsn, name)
+            self._checkpoint(begin_lsn, name)
+            self._maybe_crash(f"after_index:{name}")
+
+        return stage
 
     def _run_index(self, begin_lsn: int, name: str) -> None:
         table = self.db.table(self.table_name)

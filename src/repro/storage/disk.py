@@ -33,7 +33,7 @@ not just on simulated time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import StorageError
@@ -100,6 +100,23 @@ class SimClock:
             raise ValueError("cannot advance the clock backwards")
         self._now_ms += delta_ms
 
+    def rewind_to(self, target_ms: float) -> None:
+        """Reposition the clock to an earlier instant.
+
+        Reserved for the lane scheduler (:mod:`repro.parallel`), which
+        executes concurrent lanes one after another in host time and
+        rewinds between them so each lane's charges land at the right
+        simulated offset.  Everything else must only :meth:`advance_ms`
+        — the ``code/clock-rewind`` lint rule enforces this.
+        """
+        if target_ms < 0:
+            raise ValueError("cannot rewind the clock below zero")
+        if target_ms > self._now_ms:
+            raise ValueError(
+                "rewind_to cannot move the clock forward; use advance_ms"
+            )
+        self._now_ms = target_ms
+
     def reset(self) -> None:
         self._now_ms = 0.0
 
@@ -121,12 +138,41 @@ class DiskStats:
     io_time_ms: float = 0.0
 
     def snapshot(self) -> "DiskStats":
-        return DiskStats(**vars(self))
+        return DiskStats(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
 
     def delta_since(self, earlier: "DiskStats") -> "DiskStats":
         return DiskStats(
-            **{k: getattr(self, k) - getattr(earlier, k) for k in vars(self)}
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
         )
+
+    def merge(self, other: "DiskStats") -> "DiskStats":
+        """Add ``other``'s counters into this object (in place).
+
+        Snapshot/delta/merge all iterate the *declared* dataclass
+        fields, never ``vars()``: a stray attribute poked onto one
+        instance must not leak into (or crash) an aggregation.  Lane
+        rollups rely on this being a pure field-wise sum — each access
+        is classified and costed exactly once at the device
+        (:meth:`SimulatedDisk._charge`) and tallied identically into
+        the global and the per-lane sinks, so merging lane deltas can
+        never double-count a chained-I/O discount.
+        """
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    @classmethod
+    def merged(cls, parts: Iterable["DiskStats"]) -> "DiskStats":
+        """Field-wise sum of several stats deltas (lane rollup)."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
 
     @property
     def random_ios(self) -> int:
@@ -172,6 +218,12 @@ class SimulatedDisk:
         #: Fault-injection hook (:class:`repro.faults.FaultInjector`).
         #: Same ``None``-is-fast-path contract as ``observer``.
         self.fault_injector: Optional[object] = None
+        #: Per-lane counters, accumulated only while a lane is active
+        #: (see :meth:`begin_lane`).  The lane scheduler reads deltas of
+        #: these to attribute a parallel region's I/O to its lanes.
+        self.lane_stats: Dict[int, DiskStats] = {}
+        self._active_lane: Optional[int] = None
+        self._contended = False
         #: Page ids whose last write was torn (detected via the page
         #: checksum on the next read in a real engine; here tracked
         #: explicitly so recovery can repair from full-page images).
@@ -200,6 +252,8 @@ class SimulatedDisk:
         self._pages[page_id] = bytes(self.page_size)
         self._file_of_page[page_id] = file_id
         self.stats.pages_allocated += 1
+        if self._active_lane is not None:
+            self.lane_stats[self._active_lane].pages_allocated += 1
         if self.observer is not None:
             self.observer.on_page_alloc(file_id)  # type: ignore[attr-defined]
         return page_id
@@ -225,6 +279,8 @@ class SimulatedDisk:
             del self._pages[page_id]
             del self._file_of_page[page_id]
         self.stats.pages_freed += 1
+        if self._active_lane is not None:
+            self.lane_stats[self._active_lane].pages_freed += 1
         if self.observer is not None:
             self.observer.on_page_free(page_id)  # type: ignore[attr-defined]
 
@@ -303,12 +359,48 @@ class SimulatedDisk:
         if page_id in self._freed_ids and not allow_freed:
             raise StorageError(f"page {page_id} has been freed")
 
+    # ------------------------------------------------------------------
+    # lanes (multi-disk / contended parallel execution)
+    # ------------------------------------------------------------------
+    def begin_lane(self, lane_id: int, contended: bool = False) -> None:
+        """Attribute subsequent accesses to ``lane_id``.
+
+        With ``contended=True`` the lane shares one physical device
+        with the other lanes of its parallel region: interleaved
+        requests move the head away between any two accesses of a
+        stream, so every access is classified (and billed) as random —
+        the sequentiality discounts the paper's bulk delete lives on
+        are lost.  Dedicated lanes (the default) model one spindle per
+        lane and keep the normal per-stream classification.
+
+        Lanes never nest; the scheduler brackets exactly one task at a
+        time between :meth:`begin_lane` and :meth:`end_lane`.
+        """
+        if self._active_lane is not None:
+            raise StorageError(
+                f"lane {self._active_lane} is still active; lanes do not nest"
+            )
+        self._active_lane = lane_id
+        self._contended = contended
+        self.lane_stats.setdefault(lane_id, DiskStats())
+
+    def end_lane(self) -> None:
+        """Stop attributing accesses to the active lane."""
+        self._active_lane = None
+        self._contended = False
+
     def _charge(self, page_id: int, is_write: bool) -> None:
         file_id = self._file_of_page[page_id]
         last = self._last_access.get((file_id, is_write))
         page_size = self.page_size
         params = self.parameters
-        if last is not None and page_id == last:
+        if self._contended:
+            # A shared device interleaves the lanes' request streams:
+            # between two accesses of one stream the head has serviced
+            # other lanes, so every access pays the full random cost.
+            kind = "random"
+            cost = params.random_ms(page_size)
+        elif last is not None and page_id == last:
             # Re-access of the same page: rotation + transfer, no seek.
             kind = "near_sequential"
             cost = params.near_sequential_ms(page_size)
@@ -323,24 +415,38 @@ class SimulatedDisk:
             cost = params.random_ms(page_size)
         self._last_access[(file_id, is_write)] = page_id
         self.clock.advance_ms(cost)
-        self.stats.io_time_ms += cost
+        # One classification, tallied identically into every sink: the
+        # global counters and the active lane's see the same (kind,
+        # cost), so rolling lane deltas up can never double-count (or
+        # drop) a chained-I/O discount at a lane boundary.
+        self._tally(self.stats, kind, is_write, cost)
+        if self._active_lane is not None:
+            self._tally(
+                self.lane_stats[self._active_lane], kind, is_write, cost
+            )
         if self.observer is not None:
             self.observer.on_disk_access(  # type: ignore[attr-defined]
                 file_id, kind, is_write, cost
             )
+
+    @staticmethod
+    def _tally(
+        stats: DiskStats, kind: str, is_write: bool, cost: float
+    ) -> None:
+        stats.io_time_ms += cost
         if is_write:
-            self.stats.writes += 1
+            stats.writes += 1
             setattr(
-                self.stats,
+                stats,
                 f"{kind}_writes",
-                getattr(self.stats, f"{kind}_writes") + 1,
+                getattr(stats, f"{kind}_writes") + 1,
             )
         else:
-            self.stats.reads += 1
+            stats.reads += 1
             setattr(
-                self.stats,
+                stats,
                 f"{kind}_reads",
-                getattr(self.stats, f"{kind}_reads") + 1,
+                getattr(stats, f"{kind}_reads") + 1,
             )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,70 @@
+"""Tier-1 gate: no dead intra-repository links in the documentation.
+
+Runs ``tools/check_doc_links.py`` over every root-level and ``docs/``
+markdown file. A renamed document, a deleted figure report or a
+misspelled ``#anchor`` fails here (and in CI) instead of shipping as a
+dead link.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "check_doc_links", REPO_ROOT / "tools" / "check_doc_links.py"
+)
+check_doc_links = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("check_doc_links", check_doc_links)
+_SPEC.loader.exec_module(check_doc_links)
+
+
+def test_doc_set_is_nonempty_and_includes_the_guides():
+    names = {f.name for f in check_doc_links.doc_files()}
+    assert "README.md" in names
+    assert "EXPERIMENTS.md" in names
+    assert "parallelism.md" in names
+
+
+def test_no_dead_intra_repo_links():
+    problems, checked = check_doc_links.check_links(
+        check_doc_links.doc_files()
+    )
+    assert checked, "expected the docs to contain intra-repo links"
+    assert problems == []
+
+
+def test_checker_catches_dead_links(tmp_path):
+    (tmp_path / "docs").mkdir()
+    good = tmp_path / "docs" / "real.md"
+    good.write_text("# A Heading\n\nbody\n", encoding="utf-8")
+    source = tmp_path / "index.md"
+    source.write_text(
+        "[ok](docs/real.md)\n"
+        "[ok anchor](docs/real.md#a-heading)\n"
+        "[gone](docs/missing.md)\n"
+        "[bad anchor](docs/real.md#no-such-heading)\n"
+        "```\n[inside a fence](docs/also_missing.md)\n```\n"
+        "[external](https://example.com/x.md)\n",
+        encoding="utf-8",
+    )
+    problems, checked = check_doc_links.check_links(
+        [source, good], root=tmp_path
+    )
+    assert len(checked) == 4  # fence and external links skipped
+    assert len(problems) == 2
+    assert any("missing.md" in p for p in problems)
+    assert any("no-such-heading" in p for p in problems)
+
+
+def test_github_slug_rules():
+    slug = check_doc_links.github_slug
+    assert slug("Determinism under fault injection") == (
+        "determinism-under-fault-injection"
+    )
+    assert slug("`lanes=1` is the paper's testbed, bit for bit") == (
+        "lanes1-is-the-papers-testbed-bit-for-bit"
+    )
+    assert slug("Contention: `dedicated` vs `shared`") == (
+        "contention-dedicated-vs-shared"
+    )

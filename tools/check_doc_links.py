@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Check intra-repository markdown links (and their anchors).
+
+Scans the repository's documentation set for inline markdown links,
+resolves every relative target against the linking file, and fails on
+
+* links to files that do not exist,
+* ``#fragment`` links whose GitHub-style heading slug exists in
+  neither the target file nor (for bare ``#fragment`` links) the
+  linking file itself.
+
+External links (``http(s)://``, ``mailto:``) are left alone — CI must
+not depend on the network. Links inside fenced code blocks are
+ignored, as are headings inside them when collecting anchors.
+
+Usage::
+
+    python tools/check_doc_links.py            # check, exit 1 on dead links
+    python tools/check_doc_links.py --list     # also print every link checked
+
+The file set is every ``*.md`` at the repository root plus everything
+under ``docs/``; ``tests/test_doc_links.py`` runs the same check as a
+tier-1 gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline links/images: [text](target) — one level of nested brackets
+# in the text, no whitespace in the target (our docs never need it).
+_LINK = re.compile(r"!?\[(?:[^\[\]]|\[[^\]]*\])*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE = re.compile(r"^\s*(```|~~~)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files(root: Path = REPO_ROOT) -> List[Path]:
+    files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def _unfenced_lines(text: str) -> Iterator[Tuple[int, str]]:
+    fence = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _FENCE.match(line)
+        if match:
+            marker = match.group(1)
+            if fence is None:
+                fence = marker
+            elif marker == fence:
+                fence = None
+            continue
+        if fence is None:
+            yield lineno, line
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a heading (best-effort).
+
+    Lowercase; markdown emphasis/code markers and punctuation dropped;
+    spaces become hyphens. Duplicate-heading ``-1`` suffixes are
+    handled by the caller.
+    """
+    text = heading.strip().lower()
+    # Keep the text of links/images in the heading, drop the target.
+    text = re.sub(r"!?\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> Set[str]:
+    slugs: Set[str] = set()
+    counts: Dict[str, int] = {}
+    for _, line in _unfenced_lines(path.read_text(encoding="utf-8")):
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        base = github_slug(match.group(2))
+        n = counts.get(base, 0)
+        counts[base] = n + 1
+        slugs.add(base if n == 0 else f"{base}-{n}")
+    return slugs
+
+
+def check_links(
+    files: List[Path], root: Path = REPO_ROOT
+) -> Tuple[List[str], List[str]]:
+    """Return ``(problems, checked)`` over every intra-repo link."""
+    problems: List[str] = []
+    checked: List[str] = []
+    anchor_cache: Dict[Path, Set[str]] = {}
+
+    def anchors(path: Path) -> Set[str]:
+        if path not in anchor_cache:
+            anchor_cache[path] = (
+                anchors_of(path) if path.suffix == ".md" else set()
+            )
+        return anchor_cache[path]
+
+    for source in files:
+        for lineno, line in _unfenced_lines(
+            source.read_text(encoding="utf-8")
+        ):
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                where = f"{source.relative_to(root)}:{lineno}"
+                if target.startswith(_EXTERNAL):
+                    continue
+                checked.append(f"{where} -> {target}")
+                path_part, _, fragment = target.partition("#")
+                if not path_part:
+                    dest = source
+                else:
+                    dest = (source.parent / path_part).resolve()
+                    try:
+                        dest.relative_to(root)
+                    except ValueError:
+                        problems.append(
+                            f"{where}: {target!r} escapes the repository"
+                        )
+                        continue
+                    if not dest.exists():
+                        problems.append(
+                            f"{where}: {target!r} — no such file"
+                        )
+                        continue
+                if fragment and fragment not in anchors(dest):
+                    problems.append(
+                        f"{where}: {target!r} — no heading with anchor "
+                        f"#{fragment} in {dest.relative_to(root)}"
+                    )
+    return problems, checked
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--list", action="store_true",
+        help="print every intra-repo link checked",
+    )
+    args = parser.parse_args(argv)
+    files = doc_files()
+    problems, checked = check_links(files)
+    if args.list:
+        for entry in checked:
+            print(entry)
+    print(
+        f"check_doc_links: {len(files)} files, "
+        f"{len(checked)} intra-repo links, {len(problems)} problem(s)"
+    )
+    for problem in problems:
+        print(f"  DEAD: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
