@@ -1,0 +1,79 @@
+"""Extension bench: the media layer's price tags.
+
+Two claims, both against the simulated clock:
+
+* a full scrub pass (checksum sweep of every durable page + heap/index
+  cross-reconciliation) costs a fraction of the bulk delete it guards,
+  and its cost grows with the table while the *relative* overhead stays
+  in the same band — scrubbing is affordable at any size, and
+* retrying a transient-faulted read under the default
+  :class:`repro.media.MediaPolicy` adds a bounded, exponentially
+  growing tail (the backoffs) on top of the extra read attempts —
+  and nothing at all when the first attempt succeeds.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.bench.experiments import fig_scrub_overhead, media_retry_latency
+from repro.bench.plots import render_series
+from repro.bench.report import format_table
+
+
+def test_fig_scrub_overhead(benchmark, records):
+    series = benchmark.pedantic(
+        fig_scrub_overhead,
+        kwargs={"record_count": records},
+        rounds=1,
+        iterations=1,
+    )
+    deletes = series.rows["bulk delete"]
+    scrubs = series.rows["scrub pass"]
+
+    report = render_series(series)
+    report += "\n" + format_table(
+        "Scrub cost vs the 15% bulk delete it guards",
+        "records",
+        series.x_values,
+        {
+            "delete (scaled)": [r.scaled_minutes for r in deletes],
+            "scrub (scaled)": [r.scaled_minutes for r in scrubs],
+            "overhead %": [r.extra["overhead_pct"] for r in scrubs],
+            "pages checked": [r.extra["pages_checked"] for r in scrubs],
+        },
+    )
+
+    tails = {k: media_retry_latency(k) for k in (1, 2, 3, 4)}
+    report += "\n" + format_table(
+        "Transient-read retry tail (default policy: 4 attempts, "
+        "1 ms backoff doubling)",
+        "recovers on attempt",
+        list(tails),
+        {
+            "clean read ms": [t["clean_ms"] for t in tails.values()],
+            "faulted read ms": [t["faulted_ms"] for t in tails.values()],
+            "backoff ms": [t["backoff_ms"] for t in tails.values()],
+            "retries": [t["retries"] for t in tails.values()],
+        },
+        unit="ms",
+    )
+    emit_report("fig_scrub_overhead", report)
+
+    # Scrub cost grows with the table (more pages to sweep) ...
+    assert scrubs[-1].sim_seconds > scrubs[0].sim_seconds
+    # ... but stays well below the statement it guards, at every size.
+    for delete, scrub in zip(deletes, scrubs):
+        assert scrub.sim_seconds < delete.sim_seconds
+        assert scrub.io.writes == 0  # a clean scrub only reads
+        assert scrub.io.sequential_reads + scrub.io.near_sequential_reads \
+            > scrub.io.random_reads  # the sweep is mostly sequential
+
+    # Retry tail: no fault, no cost; each later recovery point adds its
+    # extra attempt plus an exponentially growing backoff.
+    assert tails[1]["faulted_ms"] == pytest.approx(tails[1]["clean_ms"])
+    assert tails[1]["retries"] == 0
+    for k in (2, 3, 4):
+        assert tails[k]["faulted_ms"] > tails[k - 1]["faulted_ms"]
+    assert tails[2]["backoff_ms"] == pytest.approx(1.0)
+    assert tails[3]["backoff_ms"] == pytest.approx(3.0)  # 1 + 2
+    assert tails[4]["backoff_ms"] == pytest.approx(7.0)  # 1 + 2 + 4

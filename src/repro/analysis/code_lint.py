@@ -23,7 +23,11 @@ corrupt that determinism — so these are lint rules, not review notes:
 * ``code/clock-rewind`` — ``SimClock.rewind_to`` exists solely so the
   lane scheduler can reposition simulated time between lanes; calling
   it anywhere outside ``repro/parallel/`` would let ordinary operators
-  rewrite history.
+  rewrite history,
+* ``code/media-error-outside-media`` — the typed media-error family
+  may only be raised inside ``repro/media/`` and ``repro/storage/``,
+  so every media failure flows through the one retry/repair/quarantine
+  policy layer.
 
 A deliberate exception carries a per-line pragma::
 
@@ -79,6 +83,13 @@ CODE_RULES: Dict[str, str] = {
         "anywhere else it rewrites history and corrupts every span "
         "and cost downstream"
     ),
+    "code/media-error-outside-media": (
+        "the MediaError family (ChecksumMismatch, TransientReadError, "
+        "RetriesExhausted, QuarantinedPage) may only be raised inside "
+        "repro/media/ and repro/storage/; anywhere else a media "
+        "failure must surface through the verified read path so "
+        "retry/repair/quarantine policy applies uniformly"
+    ),
 }
 
 _WALL_CLOCK_CALLS = {
@@ -105,6 +116,13 @@ _GLOBAL_RANDOM_FUNCS = {
 }
 
 _RAW_IO_ATTRS = {"read_page", "write_page"}
+
+#: The typed media-error family (repro.errors).  CorruptLogError is
+#: deliberately absent: it is a RecoveryError sibling raised by the WAL.
+_MEDIA_ERROR_NAMES = {
+    "MediaError", "ChecksumMismatch", "TransientReadError",
+    "RetriesExhausted", "QuarantinedPage",
+}
 
 _COST_NAME = re.compile(
     r"(_ms|_seconds|_minutes)$|cost", re.IGNORECASE
@@ -146,6 +164,9 @@ class _Visitor(ast.NodeVisitor):
     #: inside repro/parallel/ — the lane scheduler is the one
     #: sanctioned caller of SimClock.rewind_to
     in_parallel: bool = False
+    #: inside repro/media/ — with repro/storage/, the sanctioned origin
+    #: of the MediaError family
+    in_media: bool = False
     #: names bound by ``from time/datetime/random import X``
     clock_aliases: Set[str] = field(default_factory=set)
     random_aliases: Set[str] = field(default_factory=set)
@@ -319,14 +340,17 @@ class _Visitor(ast.NodeVisitor):
         invisible to the sweep, the buffer pool is not invalidated, and
         the observer never hears about it.  Crashes are injected by
         arming a :class:`~repro.faults.FaultInjector` with a plan.
+
+        Also flags raising the :data:`_MEDIA_ERROR_NAMES` family
+        outside ``repro/media/`` and ``repro/storage/``: media failures
+        originate at the verified read path (or its policy layer) so
+        retries, repair, and quarantine apply everywhere uniformly.
         """
-        if self.in_faults:
-            self.generic_visit(node)
-            return
         exc = node.exc
         target = exc.func if isinstance(exc, ast.Call) else exc
         dotted = _dotted(target) if target is not None else None
-        if dotted is not None and dotted.split(".")[-1] == "SimulatedCrash":
+        name = dotted.split(".")[-1] if dotted is not None else None
+        if name == "SimulatedCrash" and not self.in_faults:
             self._emit(
                 "code/crash-outside-faults",
                 node,
@@ -334,6 +358,19 @@ class _Visitor(ast.NodeVisitor):
                 "raise SimulatedCrash bypasses the fault injector; arm "
                 "a FaultInjector(FaultPlan(...)) so the crash point is "
                 "sweepable and the pool is invalidated consistently",
+            )
+        if (
+            name in _MEDIA_ERROR_NAMES
+            and not (self.in_media or self.in_storage)
+        ):
+            self._emit(
+                "code/media-error-outside-media",
+                node,
+                dotted,
+                f"raise {name} outside repro/media/ and repro/storage/ "
+                "invents a media failure the retry/repair/quarantine "
+                "policy never sees; surface it through the disk's "
+                "verified read path or the MediaRecovery layer",
             )
         self.generic_visit(node)
 
@@ -387,6 +424,7 @@ def lint_source(
     in_obs: bool = False,
     in_faults: bool = False,
     in_parallel: bool = False,
+    in_media: bool = False,
 ) -> List[Finding]:
     """Lint one module's source text; returns surviving findings."""
     try:
@@ -404,7 +442,7 @@ def lint_source(
         ]
     visitor = _Visitor(
         filename=filename, in_storage=in_storage, in_obs=in_obs,
-        in_faults=in_faults, in_parallel=in_parallel,
+        in_faults=in_faults, in_parallel=in_parallel, in_media=in_media,
     )
     visitor.visit(tree)
     allowed = _allowed_rules(source.splitlines())
@@ -425,6 +463,7 @@ def lint_tree(root: Path) -> List[Finding]:
         in_obs = "obs" in rel.parts[:-1]
         in_faults = "faults" in rel.parts[:-1]
         in_parallel = "parallel" in rel.parts[:-1]
+        in_media = "media" in rel.parts[:-1]
         findings.extend(
             lint_source(
                 path.read_text(),
@@ -433,6 +472,7 @@ def lint_tree(root: Path) -> List[Finding]:
                 in_obs=in_obs,
                 in_faults=in_faults,
                 in_parallel=in_parallel,
+                in_media=in_media,
             )
         )
     return findings

@@ -17,6 +17,14 @@ Commands:
   path: crash a recoverable bulk delete after every durable event
   (WAL force / page write), recover, and assert the result matches
   the fault-free oracle (see :mod:`repro.faults`),
+* ``mediasweep`` — the media-failure analogue: inject every read-fault
+  kind (transient / latent / stuck) on every durable page and assert
+  the statement either self-heals to the fault-free oracle or aborts
+  typed and clean (see :mod:`repro.media.sweep`),
+* ``scrub`` — the online amcheck-style scrubber: checksum-sweep every
+  live page and cross-reconcile heaps against their indexes;
+  ``--selfcheck`` injects known faults and verifies detection,
+  healing, and quarantine end to end,
 * ``lint`` (alias ``analysis``) — run the static checkers of
   :mod:`repro.analysis`: the simulation-invariant code lint over the
   package and the plan linter over representative planner output.
@@ -239,6 +247,139 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_mediasweep(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.faults.sweep import SweepScenario
+    from repro.media import media_sweep
+
+    scenario = dataclasses.replace(SweepScenario(), records=args.records)
+    report = media_sweep(
+        scenario=scenario,
+        max_points=args.max_points,
+        log_fn=print if args.verbose else None,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.faults.sweep import SweepScenario
+    from repro.media import scrub_database
+
+    scenario = dataclasses.replace(SweepScenario(), records=args.records)
+    if args.selfcheck:
+        return _scrub_selfcheck(scenario)
+    case = scenario.build()
+    report = scrub_database(case.db)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _scrub_selfcheck(scenario) -> int:
+    """Inject known media faults and verify the scrubber end to end."""
+    from repro.errors import QuarantinedPage
+    from repro.faults import STUCK, TRANSIENT, FaultInjector, FaultPlan
+    from repro.media import MediaRecovery, require_scrubbed, scrub_database
+
+    failures: List[str] = []
+
+    def check(label: str, ok: bool) -> None:
+        print(f"  {'ok' if ok else 'FAIL'}: {label}")
+        if not ok:
+            failures.append(label)
+
+    # 1. A clean database scrubs clean, every live page verified.
+    case = scenario.build()
+    db, disk = case.db, case.db.disk
+    report = scrub_database(db)
+    check(
+        "clean database scrubs clean",
+        report.ok and report.pages_checked == len(disk.page_ids()),
+    )
+
+    # 2. Latent corruption is detected even without a media layer ...
+    page = disk.page_ids()[len(disk.page_ids()) // 2]
+    image = disk.durable_image(page)
+    disk.corrupt_page(page, bytes([image[0] ^ 0xFF]) + image[1:])
+    report = scrub_database(db)
+    check(
+        "latent corruption detected (no media layer)",
+        page in report.checksum_failures
+        and page in report.unrepaired
+        and not report.ok,
+    )
+
+    # 3. ... and healed in place with one.
+    media = MediaRecovery(disk, image_sources=[("backup", {page: image}.get)])
+    report = scrub_database(db, media=media)
+    check(
+        "latent corruption healed from a backup image",
+        report.ok and page in report.repaired,
+    )
+    check("healed bytes match the original", disk.durable_image(page) == image)
+
+    # 4. Transient read faults heal by retrying with simulated backoff.
+    case = scenario.build()
+    db, disk = case.db, case.db.disk
+    page = disk.page_ids()[0]
+    injector = FaultInjector(
+        FaultPlan(read_fault=TRANSIENT, read_fault_page=page)
+    )
+    media = MediaRecovery(disk)
+    with injector.armed(disk):
+        report = scrub_database(db, media=media)
+    check(
+        "transient fault healed by retry",
+        report.ok and media.stats.retries == 2,
+    )
+    check(
+        "backoff charged to the simulated clock",
+        media.stats.backoff_ms > 0,
+    )
+
+    # 5. Cross-reconciliation catches structures that drift apart.
+    table = db.table("R")
+    tree = next(iter(table.indexes.values())).tree
+    tree._entry_count += 1
+    report = scrub_database(db)
+    check(
+        "entry-count drift detected by reconciliation",
+        any("entry_count" in problem for problem in report.problems),
+    )
+    tree._entry_count -= 1
+
+    # 6. Stuck bits defeat repair: quarantine + typed abort; replacing
+    #    the medium (restore_page) lifts the fence.
+    case = scenario.build()
+    db, disk = case.db, case.db.disk
+    page = disk.page_ids()[1]
+    backup = {pid: disk.durable_image(pid) for pid in disk.page_ids()}
+    injector = FaultInjector(
+        FaultPlan(read_fault=STUCK, read_fault_page=page)
+    )
+    media = MediaRecovery(disk, image_sources=[("backup", backup.get)])
+    aborted_on: Optional[int] = None
+    with injector.armed(disk):
+        try:
+            require_scrubbed(db, media=media, check_structures=False)
+        except QuarantinedPage as exc:
+            aborted_on = exc.page_id
+    check(
+        "stuck bits abort typed (QuarantinedPage names the page)",
+        aborted_on == page and disk.quarantined == {page},
+    )
+    disk.restore_page(page, backup[page])
+    report = scrub_database(db)
+    check("restore_page lifts the quarantine", report.ok)
+
+    status = "ok" if not failures else f"{len(failures)} failure(s)"
+    print(f"scrub selfcheck: {status}")
+    return 0 if not failures else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.__main__ import main as analysis_main
 
@@ -324,6 +465,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_sweep.add_argument("--verbose", action="store_true",
                          help="print per-point progress")
     p_sweep.set_defaults(func=_cmd_faultsweep)
+
+    p_media = sub.add_parser(
+        "mediasweep",
+        help="inject every read-fault kind on every durable page and "
+        "assert the statement self-heals to the fault-free oracle or "
+        "aborts typed and clean",
+    )
+    p_media.add_argument("--max-points", type=int, default=None,
+                         help="bound the sweep to K evenly sampled "
+                         "pages per fault kind (default: every page)")
+    p_media.add_argument("--records", type=int, default=48,
+                         help="rows in the swept table")
+    p_media.add_argument("--verbose", action="store_true",
+                         help="print per-point progress")
+    p_media.set_defaults(func=_cmd_mediasweep)
+
+    p_scrub = sub.add_parser(
+        "scrub",
+        help="checksum-sweep every live page and cross-reconcile heaps "
+        "against their indexes (amcheck-style)",
+    )
+    p_scrub.add_argument("--records", type=int, default=48,
+                         help="rows in the scrubbed scenario")
+    p_scrub.add_argument("--selfcheck", action="store_true",
+                         help="inject known media faults and verify "
+                         "detection, healing, and quarantine")
+    p_scrub.set_defaults(func=_cmd_scrub)
 
     for lint_name in ("lint", "analysis"):
         p_lint = sub.add_parser(

@@ -79,6 +79,11 @@ class BulkDeleteOptions:
     #: Seed for the scheduler's lane tie-breaks; the same seed replays
     #: the same interleaving (crash sweeps depend on this).
     lane_seed: int = 0
+    #: Media recovery layer (:class:`repro.media.MediaRecovery`) to
+    #: attach to the buffer pool for the statement's duration: pool
+    #: misses then retry transient read faults with backoff and repair
+    #: checksum mismatches from full-page images instead of failing.
+    media: Optional[object] = None
 
 
 @dataclass
@@ -161,8 +166,28 @@ def execute_plan(
     against the paper's structural invariants by the static plan
     linter; an invalid plan raises :class:`PlanValidationError`
     *before* the executor charges any simulated I/O for it.
+
+    ``options.media`` attaches a media recovery layer to the buffer
+    pool for the statement's duration (detached again even when the
+    statement fails).
     """
     options = options or BulkDeleteOptions()
+    if options.media is None:
+        return _execute(db, plan, keys, options, validate)
+    db.pool.media = options.media
+    try:
+        return _execute(db, plan, keys, options, validate)
+    finally:
+        db.pool.media = None
+
+
+def _execute(
+    db: Database,
+    plan: BulkDeletePlan,
+    keys: Sequence[int],
+    options: BulkDeleteOptions,
+    validate: bool,
+) -> BulkDeleteResult:
     table = db.table(plan.table_name)
     if plan.table_step().method is BdMethod.NESTED_LOOPS:
         raise PlanningError(

@@ -5,7 +5,7 @@ applications can catch engine failures with a single handler while still
 being able to distinguish storage, catalog, transaction, and SQL errors.
 """
 
-from typing import TYPE_CHECKING, Iterable, List
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 if TYPE_CHECKING:  # avoid a runtime cycle: analysis imports core/catalog
     from repro.analysis.findings import Finding
@@ -61,6 +61,50 @@ class IndexOfflineError(TransactionError):
 
 class RecoveryError(ReproError):
     """The log is corrupt or restart cannot proceed."""
+
+
+class MediaError(ReproError):
+    """A media-level failure: the durable bytes cannot be trusted.
+
+    Media errors are *typed aborts*, never silent wrong answers: a
+    statement that cannot obtain a verified page image raises one of
+    the leaves below and leaves every structure consistent.  Raising
+    them is confined to ``repro/media/`` and ``repro/storage/`` by the
+    ``code/media-error-outside-media`` lint rule, so every read-path
+    failure goes through the one retry/repair/quarantine policy.
+
+    ``page_id`` names the offending page when there is one.
+    """
+
+    def __init__(self, message: str, page_id: "Optional[int]" = None) -> None:
+        super().__init__(message)
+        self.page_id = page_id
+
+
+class ChecksumMismatch(MediaError):
+    """A page's durable bytes fail their stored checksum (bit rot,
+    torn write, stuck bits) — detected on read, before the bytes can
+    reach any operator."""
+
+
+class TransientReadError(MediaError):
+    """One read attempt failed but the medium may recover; the caller
+    retries with backoff (``repro.media.MediaRecovery``)."""
+
+
+class RetriesExhausted(MediaError):
+    """Bounded retries ran out and no repair image was available."""
+
+
+class QuarantinedPage(MediaError):
+    """The page was quarantined: repair failed (or was impossible) and
+    further reads/writes are refused until it is restored offline."""
+
+
+class CorruptLogError(MediaError, RecoveryError):
+    """The write-ahead log *body* is corrupt (media damage to the log
+    device).  Also a :class:`RecoveryError`, so existing restart
+    handlers keep working."""
 
 
 class SqlError(ReproError):

@@ -23,7 +23,14 @@ equivalent to the no-crash oracle.
 """
 
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultPlan, SimulatedCrash
+from repro.faults.plan import (
+    LATENT,
+    READ_FAULT_KINDS,
+    STUCK,
+    TRANSIENT,
+    FaultPlan,
+    SimulatedCrash,
+)
 
 # The sweep driver imports repro.recovery (which imports this package
 # for SimulatedCrash); resolve it lazily to keep the import graph
@@ -48,7 +55,11 @@ def __getattr__(name: str):
 __all__ = [
     "FaultInjector",
     "FaultPlan",
+    "LATENT",
+    "READ_FAULT_KINDS",
+    "STUCK",
     "SimulatedCrash",
+    "TRANSIENT",
     "SweepReport",
     "SweepScenario",
     "capture_state",

@@ -18,9 +18,10 @@ crash a test provokes is reachable by the sweep too.
 from __future__ import annotations
 
 import contextlib
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+import random
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
-from repro.faults.plan import FaultPlan, SimulatedCrash
+from repro.faults.plan import LATENT, STUCK, TRANSIENT, FaultPlan, SimulatedCrash
 
 #: Payload key marking a torn (partially forced) WAL record.
 TORN_RECORD_KEY = "__torn__"
@@ -44,6 +45,10 @@ class FaultInjector:
         self.torn_page_writes = 0
         self.dropped_wal_records = 0
         self.torn_wal_records = 0
+        self.transient_read_failures = 0
+        self.corruptions_applied = 0
+        #: Read attempts per page (drives transient recovery-after-k).
+        self.read_attempts: Dict[int, int] = {}
         self._redo_seen: dict = {}
         self._disk: Optional[Any] = None
         self._pool: Optional[Any] = None
@@ -65,6 +70,23 @@ class FaultInjector:
         disk.fault_injector = self
         if log is not None:
             log.fault_injector = self
+        plan = self.plan
+        if (
+            plan.read_fault in (LATENT, STUCK)
+            and plan.read_fault_page is not None
+            and self.corruptions_applied == 0
+            and disk.page_exists(plan.read_fault_page)
+        ):
+            # At-rest corruption: the bytes decay *under* the stored
+            # checksum (corrupt_page never restamps), silently — the
+            # damage is only observable through a verified read.
+            disk.corrupt_page(
+                plan.read_fault_page,
+                self._corrupt_image(
+                    disk.durable_image(plan.read_fault_page)
+                ),
+            )
+            self.corruptions_applied += 1
 
     def disarm(self) -> None:
         if self._disk is not None and self._disk.fault_injector is self:
@@ -117,16 +139,44 @@ class FaultInjector:
             self._crash(f"after WAL append of {record.kind!r} at event "
                         f"{ordinal}")
 
+    def on_page_read(self, page_id: int) -> bool:
+        """A page read attempt; ``True`` tells the disk to fail it.
+
+        The disk raises the :class:`~repro.errors.TransientReadError`
+        itself (media errors originate in ``repro/storage/`` or
+        ``repro/media/`` only); the injector just decides the outcome
+        and keeps the per-page attempt count that makes the fault
+        recover on the ``read_recover_after``-th attempt.
+        """
+        plan = self.plan
+        if plan.read_fault != TRANSIENT or page_id != plan.read_fault_page:
+            return False
+        attempt = self.read_attempts.get(page_id, 0) + 1
+        self.read_attempts[page_id] = attempt
+        if attempt >= plan.read_recover_after:
+            return False
+        self.transient_read_failures += 1
+        return True
+
     def on_page_write(self, page_id: int, old: bytes, new: bytes,
                       commit: Callable[[bytes], None]) -> None:
         """A page write is about to land.  ``commit(data)`` persists."""
+        plan = self.plan
+        if plan.read_fault == STUCK and page_id == plan.read_fault_page:
+            # Stuck bits: every image committed to this page lands with
+            # the same flips re-applied, so a repair write is corrupted
+            # exactly like the original content — unrepairable media.
+            original_commit = commit
+
+            def commit(image: bytes) -> None:  # noqa: F811
+                self.corruptions_applied += 1
+                original_commit(self._corrupt_image(image))
+
         ordinal = len(self.durable_events) + 1
-        crashing = self.plan.crash_after_event == ordinal
-        if crashing and self.plan.torn_write:
+        crashing = plan.crash_after_event == ordinal
+        if crashing and plan.torn_write:
             half = len(new) // 2
             commit(new[:half] + old[half:])
-            assert self._disk is not None
-            self._disk.torn_pages.add(page_id)
             self.torn_page_writes += 1
             self._note_event("page", f"{page_id} (torn)")
             obs = self._observer()
@@ -172,6 +222,24 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def _observer(self) -> Optional[Any]:
         return None if self._disk is None else self._disk.observer
+
+    def _corrupt_image(self, image: bytes) -> bytes:
+        """Apply the plan's deterministic bit-flip mask to ``image``.
+
+        Distinct byte positions (seeded sample) each get one bit
+        flipped, so the result is guaranteed to differ from the input
+        and the same (seed, page) always produces the same damage —
+        every sweep point is exactly reproducible.
+        """
+        plan = self.plan
+        rng = random.Random(
+            f"{plan.read_fault_seed}:{plan.read_fault_page}"
+        )
+        data = bytearray(image)
+        for pos in rng.sample(range(len(data)),
+                              min(plan.read_fault_bits, len(data))):
+            data[pos] ^= 1 << rng.randrange(8)
+        return bytes(data)
 
     def _note_event(self, kind: str, detail: Any) -> None:
         self.durable_events.append((kind, detail))

@@ -49,6 +49,13 @@ class SimulatedCrash(ReproError):
     """
 
 
+#: Read-fault kinds (see the ``read_fault`` field below).
+TRANSIENT = "transient"
+LATENT = "latent"
+STUCK = "stuck"
+READ_FAULT_KINDS = (TRANSIENT, LATENT, STUCK)
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """Where and how to fail.  Empty plan == pure event counter."""
@@ -68,6 +75,28 @@ class FaultPlan:
     #: Crash after the n-th redo record of a structure, e.g.
     #: ``("__table__", 3)`` or ``("ix_A", 1)``.
     crash_mid_structure: Optional[Tuple[str, int]] = None
+    #: Read-fault kind for ``read_fault_page`` (or ``None``):
+    #:
+    #: * ``"transient"`` — reads of the page fail until the
+    #:   ``read_recover_after``-th attempt (a recoverable glitch: the
+    #:   bytes on the medium are fine; retrying with backoff heals it),
+    #: * ``"latent"`` — seeded bit flips are applied *at rest* when the
+    #:   injector arms (bit rot under the stored checksum); the next
+    #:   verified read fails and the page must be repaired from a
+    #:   full-page image,
+    #: * ``"stuck"`` — the same at-rest flips, re-applied after every
+    #:   commit to the page: repair writes land corrupted too, so the
+    #:   media layer must give up and quarantine the page.
+    read_fault: Optional[str] = None
+    #: The page the read fault targets.
+    read_fault_page: Optional[int] = None
+    #: Transient faults succeed on this (1-based) attempt.
+    read_recover_after: int = 3
+    #: Seed for the (deterministic) corruption mask of latent/stuck.
+    read_fault_seed: int = 0
+    #: Distinct bytes the mask flips one bit in (>= 1 guarantees the
+    #: corrupt image differs from the clean one).
+    read_fault_bits: int = 8
 
     def __post_init__(self) -> None:
         if self.drop_wal_tail and self.torn_wal_tail:
@@ -81,6 +110,17 @@ class FaultPlan:
             raise ValueError(
                 "torn/dropped-tail modifiers require crash_after_event"
             )
+        if self.read_fault is not None:
+            if self.read_fault not in READ_FAULT_KINDS:
+                raise ValueError(
+                    f"read_fault must be one of {READ_FAULT_KINDS}"
+                )
+            if self.read_fault_page is None:
+                raise ValueError("read_fault requires read_fault_page")
+        if self.read_recover_after < 1:
+            raise ValueError("read_recover_after is 1-based")
+        if self.read_fault_bits < 1:
+            raise ValueError("read_fault_bits must be at least 1")
 
     @property
     def is_empty(self) -> bool:
@@ -88,9 +128,20 @@ class FaultPlan:
             self.crash_after_event is None
             and self.crash_point is None
             and self.crash_mid_structure is None
+            and self.read_fault is None
         )
 
     def describe(self) -> str:
+        if self.read_fault is not None:
+            detail = (
+                f" (recovers on attempt {self.read_recover_after})"
+                if self.read_fault == TRANSIENT
+                else f" ({self.read_fault_bits} flipped bits)"
+            )
+            return (
+                f"{self.read_fault} read fault on page "
+                f"{self.read_fault_page}{detail}"
+            )
         if self.crash_after_event is not None:
             mods = [
                 name

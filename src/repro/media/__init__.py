@@ -1,0 +1,62 @@
+"""Media-failure robustness: retry/backoff, repair, quarantine, scrub.
+
+Layered on the storage engine's verified read path (CRC-32 page
+checksums stamped at every write, verified at every read — see
+:mod:`repro.storage.disk`):
+
+* :class:`MediaRecovery` (:mod:`repro.media.retry`) — the policy layer
+  the buffer pool reads through: bounded retries with simulated-time
+  exponential backoff for transient faults, repair from WAL
+  full-page-write images or a backup for latent corruption, and
+  quarantine with a typed :class:`~repro.errors.QuarantinedPage` when
+  the medium is genuinely bad (stuck bits re-corrupt every repair),
+* :func:`scrub_database` / :func:`require_scrubbed`
+  (:mod:`repro.media.scrub`) — the online amcheck-style scrubber:
+  checksum sweep over every live page plus heap <-> B+-tree <-> hash
+  index cross-reconciliation,
+* :func:`media_sweep` (:mod:`repro.media.sweep`) — the exhaustive
+  driver: every pre-statement page x every read-fault kind, asserting
+  heal-to-oracle or clean typed abort.
+
+The code lint's ``code/media-error-outside-media`` rule confines
+raising the media error family to this package and ``repro/storage/``.
+"""
+
+from repro.media.retry import (
+    MediaPolicy,
+    MediaRecovery,
+    MediaStats,
+    wal_image_source,
+)
+from repro.media.scrub import ScrubReport, require_scrubbed, scrub_database
+
+# The sweep driver imports repro.recovery (which reaches back into this
+# package through the pool's media hook at runtime); resolve it lazily
+# to keep module import order flexible, mirroring repro.faults.
+_SWEEP_NAMES = (
+    "MediaPointOutcome",
+    "MediaSweepReport",
+    "media_sweep",
+)
+
+
+def __getattr__(name: str):
+    if name in _SWEEP_NAMES:
+        from repro.media import sweep
+
+        return getattr(sweep, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "MediaPointOutcome",
+    "MediaPolicy",
+    "MediaRecovery",
+    "MediaStats",
+    "MediaSweepReport",
+    "ScrubReport",
+    "media_sweep",
+    "require_scrubbed",
+    "scrub_database",
+    "wal_image_source",
+]

@@ -155,6 +155,41 @@ class Observer:
         """A WAL force that never completed (dropped or torn tail)."""
         self.metrics.counter("faults.wal_tail_lost").inc()
 
+    # ------------------------------------------------------------------
+    # media hooks (repro.media + the disk's verified read path)
+    # ------------------------------------------------------------------
+    def on_checksum_mismatch(self, page_id: int) -> None:
+        """A verified read found bytes that fail their stored CRC."""
+        self.metrics.counter("media.checksum_mismatches").inc()
+
+    def on_transient_read_error(self, page_id: int) -> None:
+        """One read attempt the medium rejected (may recover)."""
+        self.metrics.counter("media.transient_read_errors").inc()
+
+    def on_media_retry(self, page_id: int, attempt: int,
+                       backoff_ms: float) -> None:
+        """The media layer is retrying a failed read after backoff."""
+        self.metrics.counter("media.retries").inc()
+        self.metrics.timer("media.backoff_ms").add_ms(backoff_ms)
+
+    def on_media_repair(self, page_id: int, source: str) -> None:
+        """A page was rewritten from a known-good image
+        (``source`` is ``wal`` or ``backup``)."""
+        self.metrics.counter("media.repairs").inc()
+        self.metrics.counter(f"media.repairs.{source}").inc()
+
+    def on_page_quarantined(self, page_id: int) -> None:
+        """Repair gave up; the page is fenced off."""
+        self.metrics.counter("media.quarantined_pages").inc()
+
+    def on_scrub(self, pages_checked: int, failures: int,
+                 repaired: int) -> None:
+        """One scrub pass finished (checksum sweep + reconciliation)."""
+        self.metrics.counter("media.scrub.runs").inc()
+        self.metrics.counter("media.scrub.pages_checked").inc(pages_checked)
+        self.metrics.counter("media.scrub.failures").inc(failures)
+        self.metrics.counter("media.scrub.repaired").inc(repaired)
+
 
 class observed:
     """Context manager: attach an :class:`Observer` for the block.

@@ -31,9 +31,11 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.catalog.database import Database
 from repro.core.bulk_ops import bd_heap_sorted_rids, bd_index_sort_merge
-from repro.errors import RecoveryError, ReproError
+from repro.errors import RecoveryError, ReproError, RetriesExhausted
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, SimulatedCrash
+from repro.media.retry import MediaRecovery, wal_image_source
+from repro.media.scrub import scrub_database
 from repro.parallel import DEDICATED, LaneScheduler, LaneTask
 from repro.query.spill import SpillFile
 from repro.recovery.snapshot import capture_metadata, restore_metadata
@@ -63,6 +65,8 @@ class RecoveryReport:
     side_files_applied: Dict[str, int] = field(default_factory=dict)
     torn_pages_repaired: int = 0
     wal_tail_truncated: bool = False
+    #: :class:`repro.media.ScrubReport` when ``recover(scrub=True)``.
+    scrub_report: Optional[object] = None
 
 
 class RecoverableBulkDelete:
@@ -80,6 +84,11 @@ class RecoverableBulkDelete:
 
     ``full_page_writes`` logs a ``page_image`` record the first time a
     clean page is dirtied, so recovery can repair torn page writes.
+
+    ``media`` attaches a :class:`repro.media.MediaRecovery` to the
+    buffer pool for the statement's duration, so pool misses survive
+    transient read faults (retry + backoff) and latent corruption
+    (repair from a full-page image) instead of failing the statement.
 
     ``lanes > 1`` runs the post-table index stages on concurrent
     simulated I/O lanes.  The scheduler's interleaving is a pure
@@ -103,6 +112,7 @@ class RecoverableBulkDelete:
         lanes: int = 1,
         contention: str = DEDICATED,
         lane_seed: int = 0,
+        media: Optional[MediaRecovery] = None,
     ) -> None:
         self.db = db
         self.table_name = table_name
@@ -119,6 +129,7 @@ class RecoverableBulkDelete:
         self.lanes = lanes
         self.contention = contention
         self.lane_seed = lane_seed
+        self.media = media
 
     # ------------------------------------------------------------------
     def run(self) -> int:
@@ -128,9 +139,13 @@ class RecoverableBulkDelete:
             self.faults.arm(db.disk, pool=db.pool, log=self.log)
         if self.full_page_writes:
             db.pool.page_image_sink = self._log_page_image
+        if self.media is not None:
+            db.pool.media = self.media
         try:
             return self._run()
         finally:
+            if self.media is not None:
+                db.pool.media = None
             if self.full_page_writes:
                 db.pool.page_image_sink = None
             if self.faults is not None:
@@ -360,62 +375,75 @@ def recover(
     side_files: Optional[Dict[str, SideFile]] = None,
     faults: Optional[FaultInjector] = None,
     full_page_writes: bool = False,
+    scrub: bool = False,
 ) -> RecoveryReport:
     """Restart processing: finish any interrupted bulk delete forward.
 
     ``faults`` injects crashes *into recovery itself* (the re-entrancy
     half of the crash sweep); ``full_page_writes`` keeps logging page
     images during recovery so a second torn write is repairable too.
+    ``scrub`` runs a full :func:`repro.media.scrub_database` pass after
+    recovery completes (checksum sweep + structural reconciliation),
+    attaching the report to the result.
     """
     report = RecoveryReport()
-    # Restart's checksum scan: a torn final record is truncated, torn
-    # page writes are repaired from their logged full-page images.
+    # Restart's checksum scan: a torn final record is truncated, pages
+    # whose durable bytes fail verification (torn write-backs) are
+    # repaired from their logged full-page images.
     report.wal_tail_truncated = log.truncate_torn_tail() is not None
     report.torn_pages_repaired = _repair_torn_pages(db, log)
     open_rec = log.find_open_bulk_delete()
-    if open_rec is None:
-        return report
-    report.resumed = True
-    if faults is not None:
-        faults.arm(db.disk, pool=db.pool, log=log)
-    if full_page_writes:
-        db.pool.page_image_sink = (
-            lambda page_id, image: log.append(
-                "page_image", page_id=page_id, image=image
-            )
-        )
-    try:
-        return _resume(db, log, open_rec, side_files, faults, report)
-    finally:
-        if full_page_writes:
-            db.pool.page_image_sink = None
+    if open_rec is not None:
+        report.resumed = True
         if faults is not None:
-            faults.disarm()
+            faults.arm(db.disk, pool=db.pool, log=log)
+        if full_page_writes:
+            db.pool.page_image_sink = (
+                lambda page_id, image: log.append(
+                    "page_image", page_id=page_id, image=image
+                )
+            )
+        try:
+            _resume(db, log, open_rec, side_files, faults, report)
+        finally:
+            if full_page_writes:
+                db.pool.page_image_sink = None
+            if faults is not None:
+                faults.disarm()
+    if scrub:
+        media = MediaRecovery(
+            db.disk, image_sources=[("wal", wal_image_source(log))]
+        )
+        report.scrub_report = scrub_database(db, media=media)
+    return report
 
 
 def _repair_torn_pages(db: Database, log: WriteAheadLog) -> int:
-    """Rewrite torn pages from their most recent logged full-page image.
+    """Repair pages whose durable bytes fail their checksum.
 
-    A page without an image is left alone: it can only be a page that
-    no durable structure references yet (e.g. a node the interrupted
-    stage had freshly allocated — the stage re-run allocates new pages
-    and never revisits it).
+    A torn write-back is the classic cause: half the new image, half
+    the old, under a checksum stamped for the intended image.  The
+    disk's verification sweep (``corrupt_page_ids``) finds every such
+    page; each is rewritten from its most recent logged full-page
+    image, after which logical redo rolls it forward.  A failing page
+    *without* an image is left alone: it can only be a page no durable
+    structure references yet (e.g. a node the interrupted stage had
+    freshly allocated — the stage re-run allocates new pages and never
+    revisits it).
     """
     disk = db.disk
-    if not disk.torn_pages:
+    corrupt = disk.corrupt_page_ids()
+    if not corrupt:
         return 0
-    images: Dict[int, bytes] = {}
-    for record in log.records("page_image"):
-        images[record.payload["page_id"]] = record.payload["image"]
+    media = MediaRecovery(
+        disk, image_sources=[("wal", wal_image_source(log))]
+    )
     repaired = 0
-    for page_id in sorted(disk.torn_pages):
-        image = images.get(page_id)
-        if image is None:
+    for page_id in corrupt:
+        try:
+            media.read(page_id)
+        except RetriesExhausted:
             continue
-        with db.pool.pin(page_id) as pinned:
-            pinned.data[:] = image
-            pinned.mark_dirty()
-        db.pool.flush_page(page_id)
         repaired += 1
     return repaired
 

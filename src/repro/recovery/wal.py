@@ -31,7 +31,7 @@ import copy
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
-from repro.errors import RecoveryError
+from repro.errors import CorruptLogError
 from repro.storage.disk import SimulatedDisk
 
 #: Payload key marking a torn (partially forced) final record.  Kept in
@@ -137,19 +137,19 @@ class WriteAheadLog:
                     # An un-truncated torn tail; ignore it (callers that
                     # want it gone run truncate_torn_tail first).
                     continue
-                raise RecoveryError("torn record inside the log body")
+                raise CorruptLogError("torn record inside the log body")
             if record.kind == "bulk_begin":
                 open_record = record
             elif record.kind == "bulk_end":
                 if open_record is None:
                     if index == last_index:
                         continue
-                    raise RecoveryError("bulk_end without bulk_begin")
+                    raise CorruptLogError("bulk_end without bulk_begin")
                 if record.payload.get("begin_lsn") != open_record.lsn:
                     if index == last_index:
                         # Orphaned tail record; the open statement is
                         # still the unit of recovery.
                         continue
-                    raise RecoveryError("interleaved bulk deletes in log")
+                    raise CorruptLogError("interleaved bulk deletes in log")
                 open_record = None
         return open_record

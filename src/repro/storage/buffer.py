@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, Optional
+from typing import Any, Callable, Dict, Iterator, Optional
 
 from repro.errors import BufferPoolError, StorageError
 from repro.storage.disk import SimulatedDisk
@@ -115,6 +115,12 @@ class BufferPool:
         #: dirty and are skipped — their durable pre-image is zeros and
         #: nothing references them until a later flush).
         self.page_image_sink: Optional[Callable[[int, bytes], None]] = None
+        #: Media recovery layer (:class:`repro.media.MediaRecovery`, or
+        #: anything with ``read(page_id) -> bytes``).  When set, pool
+        #: misses read through it, gaining retry/backoff on transient
+        #: read faults and repair-from-image on checksum mismatches.
+        #: ``None`` (the default) keeps misses on the plain disk read.
+        self.media: Optional[Any] = None
 
     @classmethod
     def with_byte_budget(cls, disk: SimulatedDisk, budget_bytes: int) -> "BufferPool":
@@ -149,7 +155,10 @@ class BufferPool:
             if observer is not None:
                 observer.on_buffer_miss()  # type: ignore[attr-defined]
             self._make_room()
-            data = bytearray(self.disk.read_page(page_id))
+            if self.media is not None:
+                data = bytearray(self.media.read(page_id))
+            else:
+                data = bytearray(self.disk.read_page(page_id))
             frame = _Frame(page_id, data)
             self._frames[page_id] = frame
             if cold:

@@ -36,7 +36,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import StorageError
+from repro.errors import (
+    ChecksumMismatch,
+    QuarantinedPage,
+    StorageError,
+    TransientReadError,
+)
+from repro.storage.page_formats import page_checksum
 
 DEFAULT_PAGE_SIZE = 4096
 
@@ -197,6 +203,7 @@ class SimulatedDisk:
         parameters: Optional[DiskParameters] = None,
         clock: Optional[SimClock] = None,
         retain_freed: bool = True,
+        verify_reads: bool = True,
     ) -> None:
         if page_size < 128:
             raise ValueError("page_size must be at least 128 bytes")
@@ -224,10 +231,22 @@ class SimulatedDisk:
         self.lane_stats: Dict[int, DiskStats] = {}
         self._active_lane: Optional[int] = None
         self._contended = False
-        #: Page ids whose last write was torn (detected via the page
-        #: checksum on the next read in a real engine; here tracked
-        #: explicitly so recovery can repair from full-page images).
-        self.torn_pages: set = set()
+        #: Verify every :meth:`read_page` against the stored checksum
+        #: (the realistic default).  ``verify_reads=False`` restores
+        #: the trusting pre-checksum read path; the media property test
+        #: pins the two bit-identical when no fault is installed.
+        self.verify_reads = verify_reads
+        #: Out-of-band per-page CRCs (a disk's per-sector ECC lives
+        #: next to the data, not inside it).  Stamped with the checksum
+        #: of the *intended* image on every write — so a torn commit
+        #: (half new, half old) mismatches on the next read — and on
+        #: allocation (zero page).
+        self.checksums: Dict[int, int] = {}
+        #: Pages whose repair failed; reads and writes raise
+        #: :class:`~repro.errors.QuarantinedPage` until
+        #: :meth:`restore_page` replaces the media.
+        self.quarantined: set = set()
+        self._zero_checksum = page_checksum(bytes(page_size))
         self._pages: Dict[int, bytes] = {}
         self._freed_ids: set = set()
         self._next_page_id = 1
@@ -250,6 +269,7 @@ class SimulatedDisk:
         page_id = self._next_page_id
         self._next_page_id += 1
         self._pages[page_id] = bytes(self.page_size)
+        self.checksums[page_id] = self._zero_checksum
         self._file_of_page[page_id] = file_id
         self.stats.pages_allocated += 1
         if self._active_lane is not None:
@@ -265,19 +285,19 @@ class SimulatedDisk:
     def free_page(self, page_id: int) -> None:
         """Release a page.
 
-        In strict mode (``retain_freed=False``) the bytes disappear and
-        later accesses raise; in the default mode the stale content
-        remains readable (double-free is tolerated during crash
-        recovery's redo).
+        The stale bytes stay on the medium either way (that is what a
+        real disk does); the modes differ in what an *access* of the
+        freed id means.  Default mode tolerates it — crash recovery may
+        legitimately follow stale pointers into freed pages, and a
+        double free is ignored.  Strict mode turns any later
+        ``read_page``/``write_page`` (and a double free) into a
+        :class:`StorageError` via the ``allow_freed`` branch of
+        :meth:`_require_page`.
         """
         if page_id in self._freed_ids and self.retain_freed:
             return
         self._require_page(page_id, allow_freed=False)
-        if self.retain_freed:
-            self._freed_ids.add(page_id)
-        else:
-            del self._pages[page_id]
-            del self._file_of_page[page_id]
+        self._freed_ids.add(page_id)
         self.stats.pages_freed += 1
         if self._active_lane is not None:
             self.lane_stats[self._active_lane].pages_freed += 1
@@ -304,17 +324,51 @@ class SimulatedDisk:
     # ------------------------------------------------------------------
     def read_page(self, page_id: int) -> bytes:
         self._require_page(page_id, allow_freed=self.retain_freed)
+        self._fail_if_quarantined(page_id)
+        # The attempt is charged before it can fail: a read the medium
+        # rejects still moved the head and spun the platter, which is
+        # what makes retry storms visible in the simulated time.
         self._charge(page_id, is_write=False)
-        return self._pages[page_id]
+        injector = self.fault_injector
+        if injector is not None and injector.on_page_read(  # type: ignore[attr-defined]
+            page_id
+        ):
+            if self.observer is not None:
+                self.observer.on_transient_read_error(  # type: ignore[attr-defined]
+                    page_id
+                )
+            raise TransientReadError(
+                f"transient read error on page {page_id}", page_id=page_id
+            )
+        data = self._pages[page_id]
+        if self.verify_reads:
+            stored = self.checksums.get(page_id)
+            if stored is not None and page_checksum(data) != stored:
+                if self.observer is not None:
+                    self.observer.on_checksum_mismatch(  # type: ignore[attr-defined]
+                        page_id
+                    )
+                raise ChecksumMismatch(
+                    f"page {page_id} failed checksum verification",
+                    page_id=page_id,
+                )
+        return data
 
     def write_page(self, page_id: int, data: bytes) -> None:
         self._require_page(page_id, allow_freed=self.retain_freed)
+        self._fail_if_quarantined(page_id)
         if len(data) != self.page_size:
             raise StorageError(
                 f"page write of {len(data)} bytes to a "
                 f"{self.page_size}-byte page"
             )
         self._charge(page_id, is_write=True)
+        # Stamp the checksum of the *intended* image before the
+        # injector decides what actually commits: if only half of the
+        # new image lands (a torn write), the durable bytes no longer
+        # match the stamp and the next read detects it — no side
+        # channel needed.
+        self.checksums[page_id] = page_checksum(data)
         injector = self.fault_injector
         if injector is None:
             self._store_page(page_id, data)
@@ -337,9 +391,6 @@ class SimulatedDisk:
 
     def _store_page(self, page_id: int, data: bytes) -> None:
         self._pages[page_id] = bytes(data)
-        if self.torn_pages:
-            # A complete rewrite of a torn page heals it.
-            self.torn_pages.discard(page_id)
 
     def read_pages_chained(self, page_ids: Iterable[int]) -> List[bytes]:
         """Read several pages with chained I/O (one request per run).
@@ -349,6 +400,96 @@ class SimulatedDisk:
         algorithm performs with its buffer memory.
         """
         return [self.read_page(pid) for pid in page_ids]
+
+    # ------------------------------------------------------------------
+    # media: checksum verification, corruption, quarantine
+    # ------------------------------------------------------------------
+    def page_ids(self) -> List[int]:
+        """All live (never-freed) page ids, sorted.
+
+        Sorted order makes a full sweep — the scrubber's — bill mostly
+        sequential accesses, exactly like a real sequential scrub pass.
+        """
+        return sorted(pid for pid in self._pages if pid not in self._freed_ids)
+
+    def verify_page(self, page_id: int) -> bool:
+        """Whether the durable bytes match the stored checksum.
+
+        Uncharged inspection (like :meth:`durable_image`): restart's
+        corruption scan uses it to *find* damage; actually reading the
+        page goes through :meth:`read_page` and is billed normally.
+        """
+        self._require_page(page_id)
+        stored = self.checksums.get(page_id)
+        return stored is None or page_checksum(self._pages[page_id]) == stored
+
+    def corrupt_page_ids(self) -> List[int]:
+        """Live, unquarantined pages whose bytes fail their checksum.
+
+        This is what restart's media scan runs over: every torn write
+        and every at-rest corruption shows up here, with no tracking
+        side channel — the checksum *is* the detector.
+        """
+        return [
+            pid
+            for pid in self.page_ids()
+            if pid not in self.quarantined and not self.verify_page(pid)
+        ]
+
+    def corrupt_page(self, page_id: int, data: bytes) -> None:
+        """Overwrite durable bytes *without* restamping the checksum.
+
+        The fault-injection surface (latent sector corruption, stuck
+        bits): the medium decayed underneath the stored CRC, so the
+        next verified read fails.  Uncharged — bit rot is not an I/O.
+        """
+        self._require_page(page_id)
+        if len(data) != self.page_size:
+            raise StorageError(
+                f"corruption image of {len(data)} bytes for a "
+                f"{self.page_size}-byte page"
+            )
+        self._pages[page_id] = bytes(data)
+
+    def quarantine_page(self, page_id: int) -> None:
+        """Refuse further reads/writes of ``page_id`` until restored.
+
+        The media layer quarantines a page when repair failed; any
+        later access raises :class:`~repro.errors.QuarantinedPage`
+        instead of returning unverified bytes.
+        """
+        self._require_page(page_id)
+        self.quarantined.add(page_id)
+        if self.observer is not None:
+            self.observer.on_page_quarantined(  # type: ignore[attr-defined]
+                page_id
+            )
+
+    def restore_page(self, page_id: int, data: bytes) -> None:
+        """Replace a page's media with a known-good image (offline).
+
+        Lifts any quarantine and restamps the checksum: this is the
+        operator swapping the bad sector for a backup copy, not a
+        normal write — it bypasses the fault injector and charges
+        nothing.
+        """
+        self._require_page(page_id)
+        if len(data) != self.page_size:
+            raise StorageError(
+                f"restore image of {len(data)} bytes for a "
+                f"{self.page_size}-byte page"
+            )
+        self.quarantined.discard(page_id)
+        self.checksums[page_id] = page_checksum(data)
+        self._pages[page_id] = bytes(data)
+
+    def _fail_if_quarantined(self, page_id: int) -> None:
+        if page_id in self.quarantined:
+            raise QuarantinedPage(
+                f"page {page_id} is quarantined; restore_page() it from "
+                "a backup image before accessing it again",
+                page_id=page_id,
+            )
 
     # ------------------------------------------------------------------
     # internals

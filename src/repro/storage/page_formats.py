@@ -21,6 +21,7 @@ Layout (little-endian)::
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import PageFullError, StorageError
@@ -30,6 +31,21 @@ _SLOT = struct.Struct("<HH")
 
 HEADER_SIZE = _HEADER.size
 SLOT_SIZE = _SLOT.size
+
+
+def page_checksum(data: bytes) -> int:
+    """CRC-32 of a full page image.
+
+    Stored *out of band* by :class:`~repro.storage.disk.SimulatedDisk`
+    (the way a disk keeps a per-sector ECC/CRC next to the data, not
+    inside it), so the page layout — and every cost and golden file
+    derived from it — is unchanged.  The disk stamps the checksum of
+    the *intended* image on every write and verifies it on every read;
+    a torn commit, flipped bit, or stale half therefore fails
+    verification on the next read instead of silently reaching an
+    operator.
+    """
+    return zlib.crc32(bytes(data)) & 0xFFFFFFFF
 
 
 class SlottedPage:

@@ -149,7 +149,10 @@ def test_torn_write_commits_half_old_half_new():
         with pytest.raises(SimulatedCrash):
             disk.write_page(page, b"N" * 128)
     assert disk.durable_image(page) == b"N" * 64 + b"O" * 64
-    assert page in disk.torn_pages
+    # The checksum was stamped for the intended image, so the torn
+    # durable bytes fail verification — no side-band torn flag needed.
+    assert not disk.verify_page(page)
+    assert disk.corrupt_page_ids() == [page]
     assert injector.torn_page_writes == 1
 
 
@@ -164,8 +167,30 @@ def test_full_rewrite_heals_a_torn_page():
         with pytest.raises(SimulatedCrash):
             disk.write_page(page, b"N" * 128)
     disk.write_page(page, b"R" * 128)
-    assert page not in disk.torn_pages
+    assert disk.verify_page(page)
+    assert disk.corrupt_page_ids() == []
     assert disk.read_page(page) == b"R" * 128
+
+
+def test_torn_durable_image_detected_on_first_post_crash_read():
+    # Regression: the pre-checksum disk tracked torn pages in a side
+    # set the reader never consulted, so a post-crash read would hand
+    # out the mutilated bytes silently.  The verified read path must
+    # fail the very first read instead.
+    from repro.errors import ChecksumMismatch
+
+    disk, file_id = make_disk()
+    page = disk.allocate_page(file_id)
+    disk.write_page(page, b"O" * 128)
+    injector = FaultInjector(
+        FaultPlan(crash_after_event=1, torn_write=True)
+    )
+    with injector.armed(disk):
+        with pytest.raises(SimulatedCrash):
+            disk.write_page(page, b"N" * 128)
+    with pytest.raises(ChecksumMismatch) as excinfo:
+        disk.read_page(page)
+    assert excinfo.value.page_id == page
 
 
 def test_torn_write_modifier_ignored_on_wal_events():

@@ -1,0 +1,75 @@
+"""Property test: the media machinery is free when nothing fails.
+
+With no fault plan installed, running a bulk delete with read-time
+checksum verification on **and** a :class:`repro.media.MediaRecovery`
+attached to the buffer pool must be *bit-identical* to the trusting
+pre-checksum read path (``verify_reads=False``, no media layer): the
+same records deleted, the same simulated clock, the same
+:class:`~repro.storage.disk.DiskStats` field by field, and the same
+span tree node for node.  This is the PR's analogue of the ``lanes=1``
+case in ``tests/test_parallel_property.py`` — robustness machinery may
+only ever cost something when a fault actually happens.
+
+Examples are seeded (``derandomize=True``) so the suite is
+deterministic in CI.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.database import Database
+from repro.core.executor import BulkDeleteOptions, bulk_delete
+from repro.faults.sweep import capture_state
+from repro.media import MediaRecovery
+from repro.obs.observer import observed
+from tests.conftest import populate
+
+
+def span_fingerprint(span):
+    """Everything observable about a span tree, recursively."""
+    return (
+        span.name,
+        span.kind,
+        span.target,
+        round(span.elapsed_ms, 9),
+        round(span.self_ms, 9),
+        span.io.reads,
+        span.io.writes,
+        round(span.io.io_time_ms, 9),
+        tuple(span_fingerprint(child) for child in span.children),
+    )
+
+
+def run_once(fraction, force_vertical, verified):
+    db = Database(page_size=512, memory_bytes=64 * 1024)
+    values = populate(db, n=240)
+    keys = sorted(values["A"])[: int(240 * fraction)]
+    if not verified:
+        db.disk.verify_reads = False
+        options = None
+    else:
+        options = BulkDeleteOptions(media=MediaRecovery(db.disk))
+    with observed(db):
+        result = bulk_delete(
+            db, "R", "A", keys,
+            options=options, force_vertical=force_vertical,
+        )
+    return db, result
+
+
+@settings(max_examples=10, deadline=None, derandomize=True)
+@given(
+    fraction=st.sampled_from([0.1, 0.25, 0.5]),
+    force_vertical=st.booleans(),
+)
+def test_no_fault_runs_are_bit_identical(fraction, force_vertical):
+    base_db, base = run_once(fraction, force_vertical, verified=False)
+    db, result = run_once(fraction, force_vertical, verified=True)
+    assert result.records_deleted == base.records_deleted
+    assert db.clock.now_ms == base_db.clock.now_ms
+    assert vars(db.disk.stats) == vars(base_db.disk.stats)
+    assert span_fingerprint(result.trace) == span_fingerprint(base.trace)
+    assert db.pool.media is None  # detached after the statement
+    assert capture_state(db) == capture_state(base_db)
