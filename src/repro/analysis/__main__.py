@@ -1,4 +1,9 @@
-"""``python -m repro.analysis`` — run both static checkers as a gate.
+"""``python -m repro.analysis`` — run the static checkers as a gate.
+
+Three checkers: the simulation-invariant code lint (over one or more
+roots — the package by default, plus ``benchmarks/ tools/ tests/`` in
+CI), the planner self-check, and the whole-program effect engine
+(layering contracts + lane safety; see ``docs/static_analysis.md``).
 
 Exit status is 0 when no ERROR findings survive, 1 otherwise (2 for
 usage errors), so CI can gate on it directly.  ``--format json`` emits
@@ -11,7 +16,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.analysis.code_lint import default_root, lint_tree
 from repro.analysis.findings import Finding, Severity, render_findings
@@ -22,30 +27,59 @@ def run_analysis(
     root: Optional[Path] = None,
     skip_code: bool = False,
     skip_plans: bool = False,
+    skip_effects: bool = False,
     include_warnings: bool = True,
+    extra_roots: Sequence[Path] = (),
 ) -> List[Finding]:
-    """Run the code lint over ``root`` and the planner self-check."""
+    """Run every checker; ``root`` is the package dir for the code
+    lint and the effect engine, ``extra_roots`` are linted too."""
     findings: List[Finding] = []
     if not skip_code:
         findings.extend(lint_tree(root or default_root()))
+        for extra in extra_roots:
+            findings.extend(lint_tree(extra))
     if not skip_plans:
         findings.extend(
             check_planner_output(errors_only=not include_warnings)
         )
+    if not skip_effects:
+        from repro.analysis.effects import analyze_effects
+
+        # The checked-in baseline names functions of the repro tree;
+        # holding a foreign --root to it would only yield stale-entry
+        # errors, so custom roots run against an empty baseline.
+        effect_root = root or default_root()
+        if effect_root == default_root():
+            report = analyze_effects(effect_root)
+        else:
+            report = analyze_effects(effect_root, baseline=())
+        findings.extend(report.findings)
     return findings
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="static plan linter + simulation-invariant code lint",
+        description=(
+            "static plan linter + simulation-invariant code lint + "
+            "whole-program effect engine"
+        ),
     )
     parser.add_argument(
         "--root",
         type=Path,
         default=None,
-        help="package directory to code-lint (default: the installed "
+        help="package directory to analyze (default: the installed "
         "repro package)",
+    )
+    parser.add_argument(
+        "--also-lint",
+        type=Path,
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="additional directory for the code lint only (repeat for "
+        "several; the effect engine stays on --root)",
     )
     parser.add_argument(
         "--format",
@@ -62,17 +96,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip the planner-output self-check",
     )
     parser.add_argument(
+        "--skip-effects", action="store_true",
+        help="skip the whole-program effect engine",
+    )
+    parser.add_argument(
         "--strict", action="store_true",
         help="treat WARNING findings as failures too",
     )
     args = parser.parse_args(argv)
     if args.root is not None and not args.root.is_dir():
         parser.error(f"--root {args.root} is not a directory")
+    for extra in args.also_lint:
+        if not extra.is_dir():
+            parser.error(f"--also-lint {extra} is not a directory")
 
     findings = run_analysis(
         root=args.root,
         skip_code=args.skip_code,
         skip_plans=args.skip_plans,
+        skip_effects=args.skip_effects,
+        extra_roots=args.also_lint,
     )
     error_count = sum(
         1 for f in findings if f.severity is Severity.ERROR

@@ -33,7 +33,14 @@ A deliberate exception carries a per-line pragma::
 
     wall = time.perf_counter()  # lint: allow(wall-clock)
 
-with a neighbouring comment explaining the constraint.
+with a neighbouring comment explaining the constraint.  For a call
+spanning several lines, the pragma goes on the statement's *opening*
+line and covers the whole statement (simple statements only — it never
+bleeds into the body of a ``def``/``if``/``with``).  A test module
+whose very purpose is exercising a raw surface can allow one rule for
+the entire file::
+
+    # lint: allow-file(raw-page-io)
 """
 
 from __future__ import annotations
@@ -129,6 +136,7 @@ _COST_NAME = re.compile(
 )
 
 _PRAGMA = re.compile(r"#\s*lint:\s*allow\(([^)]*)\)")
+_FILE_PRAGMA = re.compile(r"#\s*lint:\s*allow-file\(([^)]*)\)")
 
 
 def _dotted(node: ast.AST) -> Optional[str]:
@@ -395,26 +403,74 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _allowed_rules(lines: Sequence[str]) -> Dict[int, Set[str]]:
-    """``line number -> rule names`` from per-line allow-pragmas."""
+def _parse_pragma(match: "re.Match[str]") -> Set[str]:
+    return {
+        name.strip() for name in match.group(1).split(",")
+        if name.strip()
+    }
+
+
+def _allowed_rules(
+    lines: Sequence[str], tree: Optional[ast.Module] = None
+) -> Dict[int, Set[str]]:
+    """``line number -> rule names`` from per-line allow-pragmas.
+
+    With the parsed ``tree``, a pragma on the *opening* line of a
+    multi-line **simple** statement (a call split across lines, a long
+    assignment) covers every line of that statement via ``end_lineno``.
+    Compound statements (``def``/``class``/``if``/``with``/...) are
+    excluded so a pragma on their header can never blanket their body.
+    """
     allowed: Dict[int, Set[str]] = {}
     for i, line in enumerate(lines, start=1):
         match = _PRAGMA.search(line)
         if match:
-            names = {
-                name.strip() for name in match.group(1).split(",")
-                if name.strip()
-            }
-            allowed[i] = names
+            allowed.setdefault(i, set()).update(_parse_pragma(match))
+    if tree is not None and allowed:
+        for stmt in ast.walk(tree):
+            if not isinstance(stmt, ast.stmt) or isinstance(
+                stmt,
+                (
+                    ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                    ast.If, ast.For, ast.AsyncFor, ast.While, ast.With,
+                    ast.AsyncWith, ast.Try, ast.Match,
+                ),
+            ):
+                continue
+            names = allowed.get(stmt.lineno)
+            end = getattr(stmt, "end_lineno", None)
+            if not names or end is None or end <= stmt.lineno:
+                continue
+            for covered in range(stmt.lineno + 1, end + 1):
+                allowed.setdefault(covered, set()).update(names)
     return allowed
 
 
-def _suppressed(finding: Finding, allowed: Dict[int, Set[str]]) -> bool:
+def _file_allowed_rules(lines: Sequence[str]) -> Set[str]:
+    """Rules allowed for the whole module by ``allow-file`` pragmas."""
+    allowed: Set[str] = set()
+    for line in lines:
+        match = _FILE_PRAGMA.search(line)
+        if match:
+            allowed.update(_parse_pragma(match))
+    return allowed
+
+
+def _matches(rule_id: str, names: Set[str]) -> bool:
+    short = rule_id.split("/", 1)[-1]
+    return rule_id in names or short in names or "*" in names
+
+
+def _suppressed(
+    finding: Finding,
+    allowed: Dict[int, Set[str]],
+    file_allowed: Optional[Set[str]] = None,
+) -> bool:
+    if file_allowed and _matches(finding.rule_id, file_allowed):
+        return True
     if finding.line is None or finding.line not in allowed:
         return False
-    names = allowed[finding.line]
-    short = finding.rule_id.split("/", 1)[-1]
-    return finding.rule_id in names or short in names or "*" in names
+    return _matches(finding.rule_id, allowed[finding.line])
 
 
 def lint_source(
@@ -445,8 +501,13 @@ def lint_source(
         in_faults=in_faults, in_parallel=in_parallel, in_media=in_media,
     )
     visitor.visit(tree)
-    allowed = _allowed_rules(source.splitlines())
-    return [f for f in visitor.findings if not _suppressed(f, allowed)]
+    lines = source.splitlines()
+    allowed = _allowed_rules(lines, tree)
+    file_allowed = _file_allowed_rules(lines)
+    return [
+        f for f in visitor.findings
+        if not _suppressed(f, allowed, file_allowed)
+    ]
 
 
 def lint_tree(root: Path) -> List[Finding]:

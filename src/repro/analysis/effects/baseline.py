@@ -1,0 +1,95 @@
+"""Checked-in suppression baseline for the effect-contract engine.
+
+Each entry names a contract rule, a function qualname *suffix*, and
+the reason the violation is sanctioned.  The baseline is part of the
+repo: adding to it is a reviewed decision, and :func:`unused_entries`
+lets CI fail when an entry no longer matches anything (so suppressions
+cannot outlive the code they excused).
+
+Baselines suppress *specific known* violations; new code that trips a
+contract shows up immediately because its qualname matches no entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.effects.lattice import qual_suffix_matches
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One sanctioned (rule, function) pair and why it is allowed."""
+
+    rule_id: str
+    qualname: str  #: matched as a dotted suffix of the function qualname
+    reason: str
+
+
+#: The baseline.  Keep this SHORT — every entry is a standing exception
+#: to a layering contract and needs a defensible reason.
+BASELINE: Tuple[BaselineEntry, ...] = (
+    BaselineEntry(
+        rule_id="effect/analysis-pure",
+        qualname="analysis.selfcheck._build_case_db",
+        reason=(
+            "The plan-lint selfcheck builds a throwaway in-memory "
+            "database to lint real plans against; its writes touch "
+            "only that fixture, never caller state."
+        ),
+    ),
+    BaselineEntry(
+        rule_id="effect/analysis-pure",
+        qualname="analysis.drift.measure_drift",
+        reason=(
+            "Drift measurement executes the selfcheck corpus on "
+            "throwaway case databases to compare planner estimates "
+            "with measured simulated cost; the writes are the "
+            "measured workload."
+        ),
+    ),
+    BaselineEntry(
+        rule_id="effect/obs-passive",
+        qualname="obs.explain.explain_analyze",
+        reason=(
+            "EXPLAIN ANALYZE executes the plan it reports on "
+            "(Postgres semantics); the write effects are the "
+            "measured workload itself, not observer side effects."
+        ),
+    ),
+)
+
+
+def is_baselined(
+    rule_id: str,
+    qualname: str,
+    baseline: Sequence[BaselineEntry] = BASELINE,
+) -> bool:
+    return any(
+        entry.rule_id == rule_id
+        and qual_suffix_matches(qualname, entry.qualname)
+        for entry in baseline
+    )
+
+
+def unused_entries(
+    matched: Iterable[Tuple[str, str]],
+    baseline: Sequence[BaselineEntry] = BASELINE,
+) -> List[BaselineEntry]:
+    """Baseline entries that suppressed nothing in this run.
+
+    ``matched`` holds the ``(rule_id, qualname)`` pairs of violations
+    that were filtered out; an entry matching none of them is stale.
+    """
+    matched_list = list(matched)
+    stale: List[BaselineEntry] = []
+    for entry in baseline:
+        hit = any(
+            entry.rule_id == rule_id
+            and qual_suffix_matches(qualname, entry.qualname)
+            for rule_id, qualname in matched_list
+        )
+        if not hit:
+            stale.append(entry)
+    return stale

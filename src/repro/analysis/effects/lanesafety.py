@@ -1,0 +1,195 @@
+"""Static lane-safety: code dispatched to lanes must not share state.
+
+:class:`~repro.parallel.lanes.LaneScheduler` runs tasks at shifted
+simulated offsets and rolls their I/O up per lane; the whole accounting
+story (and the paper's §2.4 concurrency claims) assumes each task
+touches only its own structure.  The plan lint checks that claim at the
+*plan* level (distinct ``target`` names); this pass checks it at the
+*code* level: starting from every ``LaneTask(...)`` construction site
+recorded in the call graph, walk everything reachable and flag
+functions whose own body
+
+* mutates a module-level name (``global.mutate``) — host-order
+  execution would make the result depend on lane interleaving,
+* mutates the catalog (``catalog.mutate``) — structure metadata is
+  shared across lanes,
+* repositions the clock backwards (``clock.rewind``) — only the
+  scheduler's ``run_region`` barrier logic may do that, or
+* mutates foreign counters (``metrics.mutate``) outside the storage /
+  obs layers — the per-lane ``DiskStats`` rollup is the sanctioned
+  sink, ad hoc sinks double-count across lanes.
+
+Checks use *intrinsic* effects at each reached function (not the
+propagated sets) so the finding lands on the mutating function, with
+the dispatch-to-mutation call chain as the message.  Factory dispatch
+sites (``run=make_task(...)``) analyze the factory's closures; opaque
+``run=`` values get a warning so dynamic dispatch cannot silently
+escape the pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.effects.callgraph import (
+    CallGraph,
+    FunctionNode,
+    LaneDispatch,
+)
+from repro.analysis.findings import Finding, Severity
+
+LANE_RULE = "effect/lane-shared-state"
+OPAQUE_RULE = "effect/lane-opaque-entry"
+
+#: Effects that are lane-unsafe wherever they occur.
+_ALWAYS_UNSAFE: FrozenSet[str] = frozenset(
+    {"global.mutate", "catalog.mutate", "clock.rewind"}
+)
+#: Module-path prefixes (relative to the root package) whose counter
+#: mutations are the sanctioned per-lane accounting surface.
+_METRICS_OK_PREFIXES: Tuple[str, ...] = ("storage", "obs")
+
+
+def _rel_module(graph: CallGraph, node: FunctionNode) -> str:
+    prefix = graph.package + "."
+    if node.module.startswith(prefix):
+        return node.module[len(prefix):]
+    return "" if node.module == graph.package else node.module
+
+
+def _metrics_sanctioned(graph: CallGraph, node: FunctionNode) -> bool:
+    rel = _rel_module(graph, node)
+    return any(
+        rel == p or rel.startswith(p + ".") for p in _METRICS_OK_PREFIXES
+    )
+
+
+def lane_entries(
+    graph: CallGraph, dispatch: LaneDispatch
+) -> List[str]:
+    """Functions that run *inside* the lane for one dispatch site."""
+    if dispatch.entry is None:
+        return []
+    if dispatch.kind == "factory":
+        # The factory runs at construction time (outside the lane);
+        # what the lane executes is its returned closures.
+        nested = graph.nested_functions(dispatch.entry)
+        return nested if nested else [dispatch.entry]
+    if dispatch.kind == "function":
+        return [dispatch.entry]
+    return []
+
+
+@dataclass
+class LaneHazard:
+    """One shared-state mutation reachable from a lane entry."""
+
+    dispatch: LaneDispatch
+    entry: str
+    function: FunctionNode
+    effect: str
+    chain: List[str]
+
+    def to_finding(self, graph: CallGraph) -> Finding:
+        pkg = graph.package + "."
+        short = [
+            q[len(pkg):] if q.startswith(pkg) else q for q in self.chain
+        ]
+        why = self.function.intrinsic_why.get(self.effect, self.effect)
+        return Finding(
+            rule_id=LANE_RULE,
+            severity=Severity.ERROR,
+            node=self.function.qualname,
+            message=(
+                f"lane task dispatched at {self.dispatch.file}:"
+                f"{self.dispatch.line} reaches shared-state mutation "
+                f"{self.effect!r}: " + " -> ".join(short) + f" ({why})"
+            ),
+            file=self.function.file,
+            line=self.function.line,
+        )
+
+
+def check_lane_safety(graph: CallGraph) -> List[Finding]:
+    """Run the pass over every recorded dispatch site.
+
+    Requires seeded intrinsics (:func:`~repro.analysis.effects.
+    lattice.seed_effects`); does not need the propagated fixpoint.
+    """
+    findings: List[Finding] = []
+    hazards: List[LaneHazard] = []
+    seen_hazards: Set[Tuple[str, str, str]] = set()
+    for dispatch in graph.lane_dispatches:
+        entries = lane_entries(graph, dispatch)
+        if not entries:
+            findings.append(
+                Finding(
+                    rule_id=OPAQUE_RULE,
+                    severity=Severity.WARNING,
+                    node=dispatch.owner,
+                    message=(
+                        "LaneTask run= callable could not be resolved "
+                        "statically; lane-safety cannot vouch for it"
+                    ),
+                    file=dispatch.file,
+                    line=dispatch.line,
+                )
+            )
+            continue
+        for entry in entries:
+            for hazard in _walk_entry(graph, dispatch, entry):
+                key = (entry, hazard.function.qualname, hazard.effect)
+                if key in seen_hazards:
+                    continue
+                seen_hazards.add(key)
+                hazards.append(hazard)
+    hazards.sort(
+        key=lambda h: (h.function.file, h.function.line, h.effect)
+    )
+    findings.extend(h.to_finding(graph) for h in hazards)
+    return findings
+
+
+def _walk_entry(
+    graph: CallGraph, dispatch: LaneDispatch, entry: str
+) -> List[LaneHazard]:
+    hazards: List[LaneHazard] = []
+    parents: Dict[str, Optional[str]] = {entry: None}
+    queue = [entry]
+    while queue:
+        current = queue.pop(0)
+        node = graph.functions.get(current)
+        if node is None:
+            continue
+        for effect in sorted(_unsafe_intrinsics(graph, node)):
+            chain: List[str] = [current]
+            while parents[chain[-1]] is not None:
+                parent = parents[chain[-1]]
+                assert parent is not None
+                chain.append(parent)
+            hazards.append(
+                LaneHazard(
+                    dispatch=dispatch,
+                    entry=entry,
+                    function=node,
+                    effect=effect,
+                    chain=list(reversed(chain)),
+                )
+            )
+        for callee in sorted(node.calls):
+            if callee not in parents and callee in graph.functions:
+                parents[callee] = current
+                queue.append(callee)
+    return hazards
+
+
+def _unsafe_intrinsics(
+    graph: CallGraph, node: FunctionNode
+) -> Set[str]:
+    unsafe = set(node.intrinsic & _ALWAYS_UNSAFE)
+    if "metrics.mutate" in node.intrinsic and not _metrics_sanctioned(
+        graph, node
+    ):
+        unsafe.add("metrics.mutate")
+    return unsafe

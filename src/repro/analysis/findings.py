@@ -53,6 +53,39 @@ class Finding:
             out["line"] = self.line
         return out
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict` (raises on malformed input)."""
+        return cls(
+            rule_id=data["rule"],
+            severity=Severity(data["severity"]),
+            node=data["node"],
+            message=data["message"],
+            file=data.get("file"),
+            line=data.get("line"),
+        )
+
+    def sort_key(
+        self,
+    ) -> "tuple[str, bool, int, bool, str, str, str, str]":
+        """Total report order: file, line, rule, node, then severity
+        and message as tie-breakers.
+
+        A *total* order (ties broken on every field) keeps JSON
+        reports byte-stable across runs and input orderings, so
+        reports diff cleanly.
+        """
+        return (
+            self.file or "",
+            self.file is not None,
+            self.line or 0,
+            self.line is not None,
+            self.rule_id,
+            self.node,
+            self.severity.value,
+            self.message,
+        )
+
     def render(self) -> str:
         where = self.node
         if self.file is not None:
@@ -64,6 +97,11 @@ class Finding:
 def errors(findings: Sequence[Finding]) -> List[Finding]:
     """The subset of ``findings`` that blocks execution."""
     return [f for f in findings if f.severity is Severity.ERROR]
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """``findings`` in stable report order (see :meth:`Finding.sort_key`)."""
+    return sorted(findings, key=Finding.sort_key)
 
 
 def render_findings(findings: Sequence[Finding]) -> str:

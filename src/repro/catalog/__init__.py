@@ -5,6 +5,7 @@ from repro.catalog.composite import CompositeKeyCodec
 from repro.catalog.statistics import (
     IndexStatistics,
     TableStatistics,
+    collect_exact_table_statistics,
     collect_statistics,
     collect_table_statistics,
 )
@@ -17,6 +18,7 @@ __all__ = [
     "CompositeKeyCodec",
     "IndexStatistics",
     "TableStatistics",
+    "collect_exact_table_statistics",
     "collect_statistics",
     "collect_table_statistics",
     "Database",

@@ -57,16 +57,16 @@ class TableStatistics:
         return min(1.0, n_deletes / self.record_count)
 
 
-def collect_table_statistics(
-    table: TableInfo, exact: bool = False
-) -> TableStatistics:
-    """Snapshot one table.
+def collect_table_statistics(table: TableInfo) -> TableStatistics:
+    """Snapshot one table, I/O-free.
 
-    By default leaf-page counts are *estimated* from entry counts and
-    node capacities — free of I/O, which is what a planner must use
-    (walking every leaf chain to plan a statement would charge more I/O
-    than some statements cost).  ``exact=True`` walks the chains, the
-    ANALYZE-style variant for tests and reports.
+    Leaf-page counts are *estimated* from entry counts and node
+    capacities — which is what a planner must use (walking every leaf
+    chain to plan a statement would charge more I/O than some
+    statements cost).  The two collectors are separate functions, not
+    an ``exact=`` flag, so the effect engine can verify statically that
+    planner estimation paths never reach page I/O
+    (``effect/planner-estimates-pure`` in ``docs/static_analysis.md``).
     """
     indexes = {}
     for ix in table.indexes.values():
@@ -76,20 +76,14 @@ def collect_table_statistics(
                 name=ix.name,
                 column=ix.column,
                 entry_count=hash_index.entry_count,
-                leaf_pages=(
-                    hash_index.page_count() if exact
-                    else hash_index.bucket_count
-                ),
+                leaf_pages=hash_index.bucket_count,
                 height=1,
                 unique=ix.unique,
                 clustered=False,
             )
             continue
-        if exact:
-            leaf_pages = ix.tree.leaf_count()
-        else:
-            per_leaf = max(1, int(ix.tree.leaf_capacity * 0.9))
-            leaf_pages = max(1, -(-ix.tree.entry_count // per_leaf))
+        per_leaf = max(1, int(ix.tree.leaf_capacity * 0.9))
+        leaf_pages = max(1, -(-ix.tree.entry_count // per_leaf))
         indexes[ix.name] = IndexStatistics(
             name=ix.name,
             column=ix.column,
@@ -107,11 +101,45 @@ def collect_table_statistics(
     )
 
 
+def collect_exact_table_statistics(table: TableInfo) -> TableStatistics:
+    """ANALYZE-style snapshot: walk the leaf chains for exact counts.
+
+    Pays real (simulated) I/O; for tests and reports, never for
+    planning.
+    """
+    estimated = collect_table_statistics(table)
+    indexes = {}
+    for ix in table.indexes.values():
+        base = estimated.indexes[ix.name]
+        if not ix.is_btree:
+            leaf_pages = ix.hash_index.page_count()
+        else:
+            leaf_pages = ix.tree.leaf_count()
+        indexes[ix.name] = IndexStatistics(
+            name=base.name,
+            column=base.column,
+            entry_count=base.entry_count,
+            leaf_pages=leaf_pages,
+            height=base.height,
+            unique=base.unique,
+            clustered=base.clustered,
+        )
+    return TableStatistics(
+        name=estimated.name,
+        record_count=estimated.record_count,
+        heap_pages=estimated.heap_pages,
+        indexes=indexes,
+    )
+
+
 def collect_statistics(
     db: Database, exact: bool = False
 ) -> Dict[str, TableStatistics]:
     """Snapshot every table of the database."""
+    collect = (
+        collect_exact_table_statistics if exact
+        else collect_table_statistics
+    )
     return {
-        table.name: collect_table_statistics(table, exact=exact)
-        for table in db.catalog.tables()
+        table.name: collect(table) for table in db.catalog.tables()
     }

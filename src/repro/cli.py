@@ -27,7 +27,10 @@ Commands:
   healing, and quarantine end to end,
 * ``lint`` (alias ``analysis``) — run the static checkers of
   :mod:`repro.analysis`: the simulation-invariant code lint over the
-  package and the plan linter over representative planner output.
+  package and the plan linter over representative planner output,
+* ``effects`` — the whole-program effect engine alone: build the call
+  graph, infer per-function effect sets, and check the layering
+  contracts and lane safety (``--dot`` dumps the annotated graph).
 """
 
 from __future__ import annotations
@@ -390,9 +393,67 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv.append("--skip-code")
     if args.skip_plans:
         argv.append("--skip-plans")
+    if args.skip_effects:
+        argv.append("--skip-effects")
     if args.strict:
         argv.append("--strict")
     return analysis_main(argv)
+
+
+def _cmd_effects(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.code_lint import default_root
+    from repro.analysis.effects import analyze_effects
+    from repro.analysis.findings import Severity, render_findings
+
+    root = Path(args.root) if args.root else default_root()
+    # The checked-in baseline describes the repro tree; a custom root
+    # runs against an empty baseline (see analysis/__main__.py).
+    if root == default_root():
+        report = analyze_effects(root)
+    else:
+        report = analyze_effects(root, baseline=())
+    if args.dot:
+        try:
+            print(report.graph.to_dot())
+        except BrokenPipeError:  # `repro effects --dot | head` is fine
+            pass
+        return 0
+    graph = report.graph
+    errors = sum(
+        1 for f in report.findings if f.severity is Severity.ERROR
+    )
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "ok": errors == 0,
+                    "functions": len(graph.functions),
+                    "call_edges": sum(
+                        len(n.calls) for n in graph.functions.values()
+                    ),
+                    "lane_dispatches": len(graph.lane_dispatches),
+                    "findings": [f.to_dict() for f in report.findings],
+                    "suppressed": [
+                        f.to_dict() for f in report.suppressed
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        if report.findings:
+            print(render_findings(report.findings))
+        print(
+            f"repro effects: {len(graph.functions)} functions, "
+            f"{len(graph.lane_dispatches)} lane dispatch sites, "
+            f"{len(report.findings)} finding(s) "
+            f"({len(report.suppressed)} baselined) — "
+            + ("FAIL" if errors else "ok")
+        )
+    return 1 if errors else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -505,9 +566,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "the installed repro package)")
         p_lint.add_argument("--skip-code", action="store_true")
         p_lint.add_argument("--skip-plans", action="store_true")
+        p_lint.add_argument("--skip-effects", action="store_true")
         p_lint.add_argument("--strict", action="store_true",
                             help="fail on warnings too")
         p_lint.set_defaults(func=_cmd_lint)
+
+    p_eff = sub.add_parser(
+        "effects",
+        help="whole-program effect inference: layering contracts "
+        "and static lane safety",
+    )
+    p_eff.add_argument("--format", choices=("text", "json"),
+                       default="text")
+    p_eff.add_argument("--root", default=None,
+                       help="package dir to analyze (default: the "
+                       "installed repro package)")
+    p_eff.add_argument("--dot", action="store_true",
+                       help="dump the effect-annotated call graph as "
+                       "GraphViz instead of checking")
+    p_eff.set_defaults(func=_cmd_effects)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,4 +1,7 @@
 """Unit tests for the LRU buffer pool."""
+# The pool's unit tests drive the raw page API to set up fixtures
+# the pool is then checked against:
+# lint: allow-file(raw-page-io)
 
 import pytest
 

@@ -379,3 +379,120 @@ def test_every_rule_documented():
 def test_real_repro_tree_is_clean():
     findings = lint_tree(default_root())
     assert findings == [], "\n".join(f.render() for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# pragma line-mapping on multi-line statements
+# ---------------------------------------------------------------------------
+def test_pragma_covers_multiline_statement():
+    # The offending inner call sits two lines below the pragma, which
+    # is on the statement's opening line; end_lineno maps them.
+    findings = lint(
+        """
+        import time
+        start = max(  # lint: allow(wall-clock)
+            0.0,
+            time.time(),
+        )
+        """
+    )
+    assert findings == []
+
+
+def test_pragma_multiline_attribute_call():
+    clean = lint(
+        """
+        import time
+        values = [
+            time.perf_counter()  # lint: allow(wall-clock)
+        ]
+        wrapped = sorted(  # lint: allow(wall-clock)
+            [1.0],
+            key=lambda _: time.perf_counter(),
+        )
+        """
+    )
+    assert clean == []
+
+
+def test_pragma_without_multiline_fix_would_have_missed():
+    # Same fixture, pragma removed: both findings fire, one of them on
+    # a *later* line than the statement opener — the case the
+    # end_lineno mapping exists for.
+    findings = lint(
+        """
+        import time
+        wrapped = sorted(
+            [1.0],
+            key=lambda _: time.perf_counter(),
+        )
+        """
+    )
+    assert rule_ids(findings) == ["code/wall-clock"]
+    assert findings[0].line == 5
+
+
+def test_pragma_on_def_line_does_not_blanket_body():
+    # Compound statements are excluded: a pragma on the def header must
+    # not suppress findings inside the function body.
+    findings = lint(
+        """
+        import time
+        def f():  # lint: allow(wall-clock)
+            return time.time()
+        """
+    )
+    assert rule_ids(findings) == ["code/wall-clock"]
+
+
+def test_pragma_covers_exact_statement_extent_only():
+    findings = lint(
+        """
+        import time
+        a = (  # lint: allow(wall-clock)
+            time.time()
+        )
+        b = time.time()
+        """
+    )
+    assert rule_ids(findings) == ["code/wall-clock"]
+    assert findings[0].line == 6
+
+
+# ---------------------------------------------------------------------------
+# file-level pragma
+# ---------------------------------------------------------------------------
+def test_file_pragma_suppresses_named_rule_everywhere():
+    findings = lint(
+        """
+        # lint: allow-file(wall-clock)
+        import time
+        a = time.time()
+        b = time.perf_counter()
+        """
+    )
+    assert findings == []
+
+
+def test_file_pragma_leaves_other_rules_alone():
+    findings = lint(
+        """
+        # lint: allow-file(wall-clock)
+        import time, random
+        a = time.time()
+        b = random.random()
+        """
+    )
+    assert rule_ids(findings) == ["code/unseeded-random"]
+
+
+def test_file_pragma_accepts_full_rule_id_and_lists():
+    findings = lint(
+        """
+        # lint: allow-file(code/wall-clock, unseeded-random)
+        import time, random
+        a = time.time()
+        b = random.random()
+        """
+    )
+    assert findings == []

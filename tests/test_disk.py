@@ -1,4 +1,7 @@
 """Unit tests for the simulated disk and its service-time model."""
+# This file unit-tests the raw page API itself and pins exact
+# deterministic service times, so both rules are file-allowed:
+# lint: allow-file(raw-page-io, float-cost-eq)
 
 import pytest
 

@@ -1,0 +1,64 @@
+"""Docs/registry sync: every rule id is catalogued, and vice versa.
+
+``docs/static_analysis.md`` is the human-facing rule catalogue; the
+registries (``CODE_RULES``, the plan-rule registry, ``EFFECT_RULES``
+plus the lane/baseline rule ids) are the machine truth.  This test
+fails whenever a rule is added, renamed, or removed on one side only,
+so the catalogue cannot silently drift from the checkers.
+"""
+
+import re
+from pathlib import Path
+
+from repro.analysis.code_lint import CODE_RULES
+from repro.analysis.effects import STALE_BASELINE_RULE
+from repro.analysis.effects.contracts import EFFECT_RULES
+from repro.analysis.effects.lanesafety import LANE_RULE, OPAQUE_RULE
+from repro.analysis.plan_lint import PLAN_RULES
+
+DOC = Path(__file__).resolve().parent.parent / "docs" / "static_analysis.md"
+
+# Emitted for unparseable files; not a registered visitor rule.
+SYNTHETIC_RULES = {"code/syntax"}
+
+_RULE_ID = re.compile(r"`((?:plan|code|effect)/[a-z0-9-]+)`")
+
+
+def registry_rule_ids():
+    return (
+        set(CODE_RULES)
+        | set(PLAN_RULES)
+        | set(EFFECT_RULES)
+        | {LANE_RULE, OPAQUE_RULE, STALE_BASELINE_RULE}
+        | SYNTHETIC_RULES
+    )
+
+
+def documented_rule_ids():
+    return set(_RULE_ID.findall(DOC.read_text()))
+
+
+def test_every_registered_rule_is_documented():
+    missing = registry_rule_ids() - documented_rule_ids()
+    assert not missing, (
+        f"rules with no row in {DOC.name}: {sorted(missing)}"
+    )
+
+
+def test_every_documented_rule_exists():
+    phantom = documented_rule_ids() - registry_rule_ids()
+    assert not phantom, (
+        f"{DOC.name} documents rules no checker registers: "
+        f"{sorted(phantom)}"
+    )
+
+
+def test_rule_namespaces_are_disjoint():
+    # A plan/code/effect prefix states which checker owns the rule;
+    # one id must never be registered by two checkers.
+    assert not set(CODE_RULES) & set(PLAN_RULES)
+    assert not set(CODE_RULES) & set(EFFECT_RULES)
+    assert not set(PLAN_RULES) & set(EFFECT_RULES)
+    assert all(r.startswith("code/") for r in CODE_RULES)
+    assert all(r.startswith("plan/") for r in PLAN_RULES)
+    assert all(r.startswith("effect/") for r in EFFECT_RULES)

@@ -5,6 +5,9 @@ the injector's contract at the level of single durable events: exact
 crash placement, torn-write contents, dropped/torn WAL tails, buffer
 loss, and the observer wiring.
 """
+# Single-event injector tests read pages raw to inspect torn
+# writes without the pool healing or caching them:
+# lint: allow-file(raw-page-io)
 
 import pytest
 

@@ -1,0 +1,129 @@
+"""`analysis/findings.py`: JSON round-trip, ordering, render shape."""
+
+import json
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.findings import (
+    Finding,
+    Severity,
+    errors,
+    render_findings,
+    sort_findings,
+)
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+_text = st.text(
+    # no surrogates, no control/line-separator chars (renders are
+    # asserted to be one line each)
+    alphabet=st.characters(
+        blacklist_categories=("Cs", "Cc", "Zl", "Zp")
+    ),
+    max_size=40,
+)
+_findings = st.builds(
+    Finding,
+    rule_id=st.sampled_from(
+        ["code/wall-clock", "plan/missing-step", "effect/analysis-pure"]
+    ),
+    severity=st.sampled_from(list(Severity)),
+    node=_text,
+    message=_text,
+    file=st.one_of(st.none(), _text),
+    line=st.one_of(st.none(), st.integers(min_value=1, max_value=10**6)),
+)
+
+
+# ---------------------------------------------------------------------------
+# JSON round-trip
+# ---------------------------------------------------------------------------
+def test_round_trip_simple():
+    f = Finding(
+        "code/wall-clock",
+        Severity.ERROR,
+        "time.time",
+        "host clock",
+        file="core/executor.py",
+        line=42,
+    )
+    assert Finding.from_dict(f.to_dict()) == f
+
+
+def test_round_trip_omits_optional_fields():
+    f = Finding("plan/x", Severity.WARNING, "step", "msg")
+    data = f.to_dict()
+    assert "file" not in data and "line" not in data
+    assert Finding.from_dict(data) == f
+
+
+@given(_findings)
+def test_round_trip_property(finding):
+    # Through an actual JSON encode/decode, not just dicts.
+    decoded = Finding.from_dict(json.loads(json.dumps(finding.to_dict())))
+    assert decoded == finding
+
+
+# ---------------------------------------------------------------------------
+# sorting: stable, deterministic, input-order independent
+# ---------------------------------------------------------------------------
+def test_sort_orders_by_file_line_rule():
+    a = Finding("code/b", Severity.ERROR, "n", "m", file="a.py", line=9)
+    b = Finding("code/a", Severity.ERROR, "n", "m", file="a.py", line=9)
+    c = Finding("code/a", Severity.ERROR, "n", "m", file="a.py", line=2)
+    d = Finding("plan/x", Severity.ERROR, "n", "m")  # file-less first
+    assert sort_findings([a, b, c, d]) == [d, c, b, a]
+
+
+@given(st.lists(_findings, max_size=12))
+def test_sort_is_permutation_invariant(findings):
+    assert sort_findings(findings) == sort_findings(
+        list(reversed(findings))
+    )
+
+
+@given(st.lists(_findings, max_size=12))
+def test_sort_round_trips_through_json(findings):
+    # Sorting then serializing is byte-stable: same set, same report.
+    blob = json.dumps(
+        [f.to_dict() for f in sort_findings(findings)], sort_keys=True
+    )
+    blob2 = json.dumps(
+        [
+            f.to_dict()
+            for f in sort_findings(list(reversed(findings)))
+        ],
+        sort_keys=True,
+    )
+    assert blob == blob2
+
+
+# ---------------------------------------------------------------------------
+# render: every rendered finding carries rule id, path, line
+# ---------------------------------------------------------------------------
+@given(_findings)
+def test_render_always_carries_rule_and_location(finding):
+    text = finding.render()
+    assert finding.rule_id in text
+    assert finding.severity.value.upper() in text
+    if finding.file is not None:
+        assert finding.file in text
+        assert f":{finding.line or 0}" in text
+    else:
+        assert finding.node in text
+
+
+@given(st.lists(_findings, min_size=1, max_size=8))
+def test_render_findings_one_line_each(findings):
+    # The strategy generates no line-break characters, so the text
+    # report has exactly one line per finding.
+    assert len(render_findings(findings).splitlines()) == len(findings)
+
+
+def test_errors_filters_severity():
+    e = Finding("a/b", Severity.ERROR, "n", "m")
+    w = Finding("a/c", Severity.WARNING, "n", "m")
+    i = Finding("a/d", Severity.INFO, "n", "m")
+    assert errors([w, e, i]) == [e]

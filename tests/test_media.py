@@ -16,6 +16,9 @@ here on a tiny scenario and in CI at scale):
 * the ``code/media-error-outside-media`` lint rule,
 * ``media.*`` metrics and ``retry`` spans through ``repro.obs``.
 """
+# Media tests corrupt and inspect pages below the pool on purpose,
+# and pin exact deterministic retry costs:
+# lint: allow-file(raw-page-io, float-cost-eq)
 
 from __future__ import annotations
 

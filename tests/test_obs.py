@@ -12,6 +12,9 @@ The pinned guarantees:
   are one attribute test, and no metric objects exist anywhere,
 * metric totals agree with the storage layer's own counters.
 """
+# Reconciliation is pinned with exact equality on purpose: span
+# deltas must match disk counters bit-for-bit, not approximately:
+# lint: allow-file(float-cost-eq)
 
 from __future__ import annotations
 

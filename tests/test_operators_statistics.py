@@ -5,6 +5,7 @@ import pytest
 from repro import Database
 from repro.btree.node import MAX_KEY, MIN_KEY
 from repro.catalog.statistics import (
+    collect_exact_table_statistics,
     collect_statistics,
     collect_table_statistics,
 )
@@ -135,7 +136,7 @@ def test_statistics_estimate_close_to_exact(table_db):
     db, values = table_db
     table = db.table("R")
     estimated = collect_table_statistics(table)
-    exact = collect_table_statistics(table, exact=True)
+    exact = collect_exact_table_statistics(table)
     assert estimated.record_count == exact.record_count == 200
     assert estimated.heap_pages == exact.heap_pages
     for name in exact.indexes:

@@ -8,6 +8,9 @@ shared device), the planner's parallel cost terms, the new lint rules,
 observability reconciliation over concurrent spans, and determinism of
 the crash-point sweep under parallel index maintenance.
 """
+# Lane accounting is pinned with exact equality on purpose
+# (serial must be bit-identical, rollups exact):
+# lint: allow-file(float-cost-eq)
 
 import dataclasses
 
@@ -54,7 +57,8 @@ def make_disk():
 def reader_task(disk, name, pages, estimated=0.0, target=None):
     def run():
         for pid in pages:
-            disk.read_page(pid)
+            # Raw reads keep the fixture's I/O pattern exact.
+            disk.read_page(pid)  # lint: allow(raw-page-io)
         return len(pages)
 
     return LaneTask(

@@ -61,7 +61,7 @@ def test_parallel_equivalent_to_serial(lanes, contention, fraction):
     assert capture_state(db) == state
     if lanes == 1:
         # The serial special case is bit-identical, not just equal-state.
-        assert elapsed_ms == serial_ms
+        assert elapsed_ms == serial_ms  # lint: allow(float-cost-eq)
     elif contention == SHARED:
         assert elapsed_ms > serial_ms
     else:

@@ -226,7 +226,7 @@ def test_execute_plan_rejects_error_plans():
         for f in exc_info.value.findings
     )
     # No simulated time may have been charged for the rejected plan.
-    assert db.clock.now_ms == before_ms
+    assert db.clock.now_ms == before_ms  # lint: allow(float-cost-eq)
 
 
 def test_bulk_delete_rejects_corrupt_caller_plan():

@@ -68,7 +68,7 @@ def test_build_workload_end_to_end():
     index = wl.db.table("R").index("I_R_A")
     assert index.tree.entry_count == 1500
     # Measurements were reset after setup.
-    assert wl.db.clock.now_ms == 0.0
+    assert wl.db.clock.now_ms == 0.0  # lint: allow(float-cost-eq)
     assert wl.db.disk.stats.reads == 0
 
 
