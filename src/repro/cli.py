@@ -13,10 +13,19 @@ Commands:
 * ``trace`` — run a traced bulk delete (a generated workload, or the
   planner self-check corpus with ``--selfcheck``) and export the
   per-operator spans as JSON (``docs/trace_schema.json``) or text,
+* ``oltp`` — the live-traffic interference harness: seeded multi-
+  session OLTP traffic (point reads, pad updates, inserts) runs
+  concurrently with a bulk delete on one simulated clock, and the
+  per-session latency histograms plus the stall-attribution report
+  quantify the interference (``--strategy sidefile|chunked|both``;
+  ``--selfcheck`` asserts the methodology's invariants end to end;
+  see :mod:`repro.workload.traffic` and ``docs/workloads.md``),
 * ``faultsweep`` — exhaustive crash-point sweep for the recovery
   path: crash a recoverable bulk delete after every durable event
   (WAL force / page write), recover, and assert the result matches
-  the fault-free oracle (see :mod:`repro.faults`),
+  the fault-free oracle (see :mod:`repro.faults`); ``--traffic N``
+  commits N concurrent user writes at the statement's stage
+  boundaries and additionally requires zero lost committed writes,
 * ``mediasweep`` — the media-failure analogue: inject every read-fault
   kind (transient / latent / stuck) on every durable page and assert
   the statement either self-heals to the fault-free oracle or aborts
@@ -225,6 +234,66 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_oltp(args: argparse.Namespace) -> int:
+    from repro.workload.traffic import (
+        TrafficConfig,
+        build_interference_report,
+        run_interference_comparison,
+    )
+
+    strategies = (
+        ["sidefile", "chunked"]
+        if args.strategy == "both" or args.selfcheck
+        else [args.strategy]
+    )
+    if args.selfcheck:
+        # Small but non-degenerate: enough sessions and ops that both
+        # stall kinds occur and the percentile ordering is meaningful.
+        records, sessions, ops = 1200, 6, 30
+    else:
+        records, sessions, ops = args.records, args.sessions, args.ops
+    config = TrafficConfig(
+        sessions=sessions, ops_per_session=ops, seed=args.seed
+    )
+    results = run_interference_comparison(
+        record_count=records,
+        sessions=config.sessions,
+        ops_per_session=config.ops_per_session,
+        seed=config.seed,
+        fraction=args.fraction,
+        chunk_rows=args.chunk_rows,
+        strategies=tuple(strategies),
+    )
+    failures: List[str] = []
+    for name in strategies:
+        result = results[name]
+        report = build_interference_report(result)
+        print(report.render())
+        print()
+        problems = result.reconcile(result.workload.db.obs)
+        for problem in problems:
+            failures.append(f"{name}: {problem}")
+    if args.selfcheck:
+        p99 = {
+            name: results[name].phase_hist("during").percentile(99)
+            for name in strategies
+        }
+        if not p99["sidefile"] < p99["chunked"]:
+            failures.append(
+                "selfcheck: side-file p99-during "
+                f"{p99['sidefile']:.1f}ms is not below chunked "
+                f"{p99['chunked']:.1f}ms"
+            )
+        for name in strategies:
+            if results[name].records_deleted == 0:
+                failures.append(f"selfcheck: {name} deleted nothing")
+        status = "ok" if not failures else f"{len(failures)} failure(s)"
+        print(f"oltp selfcheck: {status}")
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    return 1 if failures else 0
+
+
 def _cmd_faultsweep(args: argparse.Namespace) -> int:
     import dataclasses
 
@@ -232,7 +301,8 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
     from repro.faults.sweep import SweepScenario
 
     scenario = dataclasses.replace(
-        SweepScenario(), records=args.records, lanes=args.lanes
+        SweepScenario(), records=args.records, lanes=args.lanes,
+        traffic_ops=args.traffic,
     )
     report = crash_point_sweep(
         scenario=scenario,
@@ -499,6 +569,35 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="write to a file instead of stdout")
     p_trace.set_defaults(func=_cmd_trace)
 
+    p_oltp = sub.add_parser(
+        "oltp",
+        help="run seeded multi-session OLTP traffic concurrent with a "
+        "bulk delete and print the latency-interference report",
+    )
+    p_oltp.add_argument("--sessions", type=int, default=8,
+                        help="concurrent simulated user sessions")
+    p_oltp.add_argument("--ops", type=int, default=40,
+                        help="operations per session")
+    p_oltp.add_argument("--records", type=int, default=2000,
+                        help="rows in the table under traffic")
+    p_oltp.add_argument("--seed", type=int, default=1042,
+                        help="seed for arrivals, op mix and key choice")
+    p_oltp.add_argument("--strategy",
+                        choices=("sidefile", "chunked", "both"),
+                        default="both",
+                        help="delete strategy to run against the "
+                        "traffic (default: both, for comparison)")
+    p_oltp.add_argument("--fraction", type=float, default=0.15,
+                        help="fraction of records the delete removes")
+    p_oltp.add_argument("--chunk-rows", type=int, default=64,
+                        help="rows per chunk for the chunked strategy")
+    p_oltp.add_argument("--selfcheck", action="store_true",
+                        help="run both strategies on a fixed small "
+                        "scenario and assert the methodology's "
+                        "invariants (exact reconciliation, side-file "
+                        "beating chunked on p99)")
+    p_oltp.set_defaults(func=_cmd_oltp)
+
     p_sweep = sub.add_parser(
         "faultsweep",
         help="crash the recovery scenario at every durable event and "
@@ -523,6 +622,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "concurrent simulated I/O lanes (default 1, "
                          "serial); the seeded scheduler keeps every "
                          "crash point replayable")
+    p_sweep.add_argument("--traffic", type=int, default=0,
+                         help="commit K concurrent user writes at the "
+                         "statement's stage boundaries and require "
+                         "zero lost committed writes after recovery")
     p_sweep.add_argument("--verbose", action="store_true",
                          help="print per-point progress")
     p_sweep.set_defaults(func=_cmd_faultsweep)

@@ -8,6 +8,12 @@ from repro.core.bulk_ops import (
     bd_index_partitioned,
     bd_index_sort_merge,
 )
+from repro.core.chunked import (
+    ChunkedDelete,
+    ChunkedDeleteResult,
+    ChunkStats,
+    chunked_delete,
+)
 from repro.core.drop_create import DropCreateResult, drop_create_delete
 from repro.core.executor import (
     BulkDeleteOptions,
@@ -18,6 +24,7 @@ from repro.core.executor import (
 )
 from repro.core.planner import (
     choose_plan,
+    estimate_chunked_ms,
     estimate_horizontal_ms,
     estimate_vertical_ms,
 )
@@ -72,6 +79,11 @@ __all__ = [
     "bd_index_sort_merge",
     "bulk_delete",
     "choose_plan",
+    "ChunkStats",
+    "ChunkedDelete",
+    "ChunkedDeleteResult",
+    "chunked_delete",
+    "estimate_chunked_ms",
     "compact_leaf_level",
     "drop_create_delete",
     "estimate_horizontal_ms",

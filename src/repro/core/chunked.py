@@ -1,0 +1,189 @@
+"""Chunked ``DELETE ... LIMIT n`` with progress accounting.
+
+The production baseline the vertical strategies compete against: batch
+the delete into chunks of ``n`` rows, delete each chunk the traditional
+record-at-a-time way (heap + every index, horizontal processing), and
+durably account progress after every chunk so an interrupted job can
+report how far it got and resume from its counter.  This is the
+``DELETE FROM t WHERE ... ORDER BY pk LIMIT n`` loop catalogued in the
+industrial-techniques collection referenced by PAPERS.md — kind to
+concurrent traffic (locks are held per chunk, not per statement) but
+expensive in aggregate, because every row pays random I/O against every
+structure and every chunk pays the accounting write on top.
+
+``ChunkedDelete`` exposes chunk-at-a-time stepping so the OLTP traffic
+driver (:mod:`repro.workload.traffic`) can interleave user operations
+between chunks; :func:`chunked_delete` runs the loop to completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.catalog.database import Database
+from repro.errors import PlanningError
+from repro.query.sort import ExternalSorter
+from repro.storage.heap import HeapFile
+from repro.storage.rid import RID
+from repro.txn.locks import LockMode
+from repro.txn.transactions import TransactionManager
+
+
+@dataclass
+class ChunkStats:
+    """Accounting for one committed chunk."""
+
+    index: int
+    rows: int
+    deleted_total: int
+    start_ms: float
+    end_ms: float
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass
+class ChunkedDeleteResult:
+    """What a chunked delete did, chunk by chunk."""
+
+    chunk_rows: int
+    records_deleted: int = 0
+    chunks: List[ChunkStats] = field(default_factory=list)
+    progress_writes: int = 0
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def elapsed_ms(self) -> float:
+        if not self.chunks:
+            return 0.0
+        return self.chunks[-1].end_ms - self.chunks[0].start_ms
+
+
+class ChunkedDelete:
+    """Stepwise chunked delete: call :meth:`run_chunk` until ``None``.
+
+    Each chunk is one short transaction: row X locks on its victims
+    (never the whole table, as long as ``chunk_rows`` stays under the
+    lock manager's escalation threshold), record-at-a-time deletion,
+    then a durable progress write — one page flushed per chunk, the
+    "accounting" half of the production idiom.
+    """
+
+    PROGRESS_RECORD_BYTES = 32
+
+    def __init__(
+        self,
+        db: Database,
+        table_name: str,
+        column: str,
+        keys: Sequence[int],
+        chunk_rows: int = 64,
+        txn_manager: Optional[TransactionManager] = None,
+    ) -> None:
+        if chunk_rows < 1:
+            raise PlanningError("chunk_rows must be at least 1")
+        table = db.table(table_name)
+        if not table.indexes_on(column):
+            raise PlanningError(f"chunked delete needs an index on {column}")
+        self.db = db
+        self.table_name = table_name
+        self.column = column
+        self.chunk_rows = chunk_rows
+        self.tm = txn_manager or TransactionManager()
+        self.result = ChunkedDeleteResult(chunk_rows=chunk_rows)
+        # Production chunking walks the driving index in key order
+        # ("ORDER BY pk LIMIT n"); sort once, through the engine's own
+        # sort path, so the baseline gets its best access pattern.
+        sorter = ExternalSorter(db.disk, db.memory_bytes, width=1)
+        self._keys = [k for (k,) in sorter.sort((k,) for k in keys)]
+        self._cursor = 0
+        self._progress_heap: Optional[HeapFile] = None
+        self._progress_rid: Optional[RID] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def remaining(self) -> int:
+        return len(self._keys) - self._cursor
+
+    @property
+    def done(self) -> bool:
+        return self._cursor >= len(self._keys)
+
+    def run_chunk(self) -> Optional[ChunkStats]:
+        """Delete the next chunk; returns its stats, or ``None`` if done."""
+        if self.done:
+            return None
+        db = self.db
+        chunk = self._keys[self._cursor:self._cursor + self.chunk_rows]
+        start_ms = db.clock.now_ms
+        txn = self.tm.begin()
+        table = db.table(self.table_name)
+        driving = table.indexes_on(self.column)[0]
+        deleted = 0
+        for key in chunk:
+            self.tm.locks.lock_row(
+                txn.txn_id, self.table_name, key, LockMode.X
+            )
+            for packed in list(driving.tree.search(key)):
+                db.delete_record(self.table_name, RID.unpack(packed))
+                db.disk.charge_cpu_records(1)
+                deleted += 1
+        self._cursor += len(chunk)
+        self.result.records_deleted += deleted
+        self._write_progress()
+        self.tm.commit(txn)
+        stats = ChunkStats(
+            index=len(self.result.chunks),
+            rows=deleted,
+            deleted_total=self.result.records_deleted,
+            start_ms=start_ms,
+            end_ms=db.clock.now_ms,
+        )
+        self.result.chunks.append(stats)
+        return stats
+
+    def run(self) -> ChunkedDeleteResult:
+        """Run every remaining chunk back to back, then flush."""
+        while self.run_chunk() is not None:
+            pass
+        self.db.flush()
+        return self.result
+
+    # ------------------------------------------------------------------
+    def _write_progress(self) -> None:
+        """Durably account the chunk: update + flush the progress row."""
+        payload = (
+            f"{self.table_name}:{self.result.records_deleted}"
+            .encode("ascii")[: self.PROGRESS_RECORD_BYTES]
+            .ljust(self.PROGRESS_RECORD_BYTES, b" ")
+        )
+        if self._progress_heap is None:
+            self._progress_heap = HeapFile(
+                self.db.pool, name=f"__bd_progress_{self.table_name}"
+            )
+            self._progress_rid = self._progress_heap.insert(payload)
+        else:
+            assert self._progress_rid is not None
+            self._progress_heap.update(self._progress_rid, payload)
+        self.db.pool.flush_page(self._progress_rid.page_id)
+        self.result.progress_writes += 1
+
+
+def chunked_delete(
+    db: Database,
+    table_name: str,
+    column: str,
+    keys: Sequence[int],
+    chunk_rows: int = 64,
+    txn_manager: Optional[TransactionManager] = None,
+) -> ChunkedDeleteResult:
+    """Run a chunked ``DELETE ... LIMIT n`` to completion."""
+    return ChunkedDelete(
+        db, table_name, column, keys, chunk_rows, txn_manager
+    ).run()

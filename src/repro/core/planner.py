@@ -80,6 +80,39 @@ def estimate_horizontal_ms(
                          f"{per_record:.2f}ms + flush")
 
 
+def estimate_chunked_ms(
+    db: Database,
+    table: TableInfo,
+    n_deletes: int,
+    chunk_rows: int = 64,
+) -> CostBreakdown:
+    """Cost of the chunked ``DELETE ... LIMIT n`` production baseline.
+
+    Each row pays the horizontal per-record cost (the chunk walks the
+    driving index in key order, so the driving leaves stream while the
+    heap and the other indexes stay random); each chunk additionally
+    pays one durable progress write — a random positioning for the
+    accounting page every ``chunk_rows`` rows.  The strategy trades
+    aggregate time for short lock footprints: user transactions wait at
+    most one chunk, never the whole statement, which is why the OLTP
+    harness (:mod:`repro.workload.traffic`) runs it as the tail-latency
+    baseline the side-file vertical plan must beat.
+    """
+    if chunk_rows < 1:
+        raise PlanningError("chunk_rows must be at least 1")
+    base = estimate_horizontal_ms(db, table, n_deletes, presorted=True)
+    params = db.disk.parameters
+    random_ms = params.random_ms(db.page_size)
+    chunks = math.ceil(n_deletes / chunk_rows) if n_deletes else 0
+    progress_ms = chunks * random_ms
+    return CostBreakdown(
+        "chunked",
+        base.io_ms + progress_ms,
+        f"{n_deletes} records in {chunks} chunks of {chunk_rows} "
+        f"+ {chunks} progress writes",
+    )
+
+
 def estimate_vertical_ms(
     db: Database, table: TableInfo, n_deletes: int
 ) -> CostBreakdown:

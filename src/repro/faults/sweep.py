@@ -44,7 +44,12 @@ from repro.core.integrity import (
 from repro.errors import ReproError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, SimulatedCrash
-from repro.recovery.restart import RecoverableBulkDelete, recover
+from repro.recovery.restart import (
+    RecoverableBulkDelete,
+    UserWrite,
+    apply_user_write,
+    recover,
+)
 from repro.recovery.wal import WriteAheadLog
 
 #: ``capture_state``'s per-table value: (sorted rows, heap record
@@ -73,6 +78,13 @@ class SweepScenario:
     #: scheduler's interleaving is seeded and fixed, so durable-event
     #: numbering stays stable and every crash point is replayable.
     lanes: int = 1
+    #: Concurrent user writes (inserts of fresh rows, deletes of
+    #: unreferenced survivors) committed at the statement's stage
+    #: boundaries, round-robin.  0 keeps the classic traffic-free
+    #: sweep bit-identical.  The zero-lost-committed-writes property
+    #: is checked per point: every ``user_op`` record surviving in the
+    #: WAL must have its effect present after recovery.
+    traffic_ops: int = 0
 
     def build(self) -> "SweepCase":
         db = Database(
@@ -129,9 +141,65 @@ class SweepScenario:
         # The pre-statement image must be durable: a crash at the very
         # first statement event may not lose any of the build.
         db.flush()
+        traffic, order = self._traffic_schedule(col_vals, keys, survivors)
         return SweepCase(
-            db=db, log=WriteAheadLog(db.disk), keys=keys, registry=registry
+            db=db, log=WriteAheadLog(db.disk), keys=keys,
+            registry=registry, traffic=traffic, traffic_order=order,
         )
+
+    def _traffic_schedule(
+        self,
+        col_vals: Dict[str, List[int]],
+        keys: List[int],
+        survivors: List[int],
+    ) -> Tuple[Dict[str, List[UserWrite]], List[UserWrite]]:
+        """The deterministic user-write schedule for this scenario.
+
+        Inserts use fresh per-column values from a range disjoint from
+        the generated data (and from each other), deletes target
+        survivors the child table does not reference — so the foreign
+        key holds throughout and every indexed column value identifies
+        at most one logical row, the precondition of replay-by-values.
+        The flattened ``order`` list is in application (= WAL) order;
+        a crash leaves a prefix of it committed.
+        """
+        if not self.traffic_ops:
+            return {}, []
+        boundaries = ["after_begin", "after_driving", "after_table"] + [
+            f"after_index:I_R_{col}"
+            for col in self.index_columns
+            if col != "A"
+        ]
+        rng = random.Random(self.seed + 9999)
+        a_vals = col_vals["A"]
+        referenced = {
+            survivors[i % len(survivors)] for i in range(self.child_rows)
+        }
+        deletable = [
+            a for a in survivors if a not in referenced
+        ]
+        ncols = len(self.index_columns)
+        fresh_base = 100 * 10 * self.records
+        traffic: Dict[str, List[UserWrite]] = {b: [] for b in boundaries}
+        for i in range(self.traffic_ops):
+            if deletable and rng.random() < 0.4:
+                target = deletable.pop(rng.randrange(len(deletable)))
+                j = a_vals.index(target)
+                write = UserWrite(
+                    op="delete",
+                    values=tuple(
+                        col_vals[col][j] for col in self.index_columns
+                    ) + ("p",),
+                )
+            else:
+                base = fresh_base + i * ncols
+                write = UserWrite(
+                    op="insert",
+                    values=tuple(base + c for c in range(ncols)) + ("u",),
+                )
+            traffic[boundaries[i % len(boundaries)]].append(write)
+        order = [w for b in boundaries for w in traffic[b]]
+        return traffic, order
 
 
 @dataclass
@@ -142,6 +210,9 @@ class SweepCase:
     log: WriteAheadLog
     keys: List[int]
     registry: ConstraintRegistry
+    #: Per-boundary user-write schedule and its flattened WAL order.
+    traffic: Dict[str, List[UserWrite]] = field(default_factory=dict)
+    traffic_order: List[UserWrite] = field(default_factory=list)
 
 
 def capture_state(db: Database) -> Dict[str, TableState]:
@@ -157,6 +228,54 @@ def capture_state(db: Database) -> Dict[str, TableState]:
                 )
         state[table.schema.name] = (rows, table.heap.record_count, indexes)
     return state
+
+
+def logical_state(state: Dict[str, TableState]) -> Dict[str, object]:
+    """RID-independent view of a captured state.
+
+    With concurrent traffic, replayed or topped-up inserts may land at
+    different RIDs than the oracle's (slot reuse after a crash), so
+    traffic sweeps compare rows, counts and index *key* multisets —
+    everything logical — instead of exact (key, RID) entries.
+    """
+    return {
+        name: (
+            rows,
+            count,
+            {
+                ix: (sorted(k for k, _ in entries), n)
+                for ix, (entries, n) in indexes.items()
+            },
+        )
+        for name, (rows, count, indexes) in state.items()
+    }
+
+
+def lost_user_writes(db: Database, log: WriteAheadLog) -> List[str]:
+    """Committed user writes whose effect is missing — must be empty.
+
+    Every ``user_op`` record surviving in the WAL is a committed write;
+    after recovery its net effect (last record per row wins) must be
+    visible in the heap.
+    """
+    final: Dict[Tuple[str, Tuple[object, ...]], str] = {}
+    for record in log.records("user_op"):
+        key = (record.payload["table"], tuple(record.payload["values"]))
+        final[key] = record.payload["op"]
+    problems: List[str] = []
+    for (table_name, values), op in final.items():
+        present = any(
+            row == values for _, row in db.scan(table_name)
+        )
+        if op == "insert" and not present:
+            problems.append(
+                f"lost committed user insert {values[:2]} in {table_name}"
+            )
+        elif op == "delete" and present:
+            problems.append(
+                f"resurrected user-deleted row {values[:2]} in {table_name}"
+            )
+    return problems
 
 
 def integrity_problems(
@@ -296,7 +415,7 @@ def crash_point_sweep(
     RecoverableBulkDelete(
         case.db, "R", "A", case.keys, case.log,
         faults=counter, full_page_writes=full_page_writes,
-        lanes=scenario.lanes,
+        lanes=scenario.lanes, traffic=case.traffic,
     ).run()
     oracle = capture_state(case.db)
     oracle_problems = integrity_problems(case.db, case.registry, case.keys)
@@ -378,7 +497,7 @@ def _run_point(
         case.db, "R", "A", case.keys, case.log,
         faults=FaultInjector(plan_for(event)),
         full_page_writes=full_page_writes,
-        lanes=scenario.lanes,
+        lanes=scenario.lanes, traffic=case.traffic,
     )
     try:
         runner.run()
@@ -405,20 +524,48 @@ def _run_point(
         full_page_writes=full_page_writes,
     )
     outcome.recovery_events = counting.durable_event_count
+    with_traffic = bool(case.traffic_order)
+    if with_traffic:
+        # Zero lost committed writes: checked before the top-up, so a
+        # write the top-up would re-submit cannot mask a lost one.
+        outcome.problems.extend(lost_user_writes(case.db, case.log))
+
+    def matches_oracle(state: Dict[str, TableState]) -> bool:
+        if with_traffic:
+            return logical_state(state) == logical_state(oracle)
+        return state == oracle
 
     state = capture_state(case.db)
-    if state != oracle and (rec_report.abandoned or not rec_report.resumed):
+    reissued = False
+    if not matches_oracle(state) and (
+        rec_report.abandoned or not rec_report.resumed
+    ):
         # The statement never started (its begin record was the lost
         # tail) or was abandoned before modifying anything; the client
-        # re-issues it.  Legitimate only from the pristine state.
+        # re-issues it — with its full traffic schedule.  Legitimate
+        # only from the pristine state.
         if state == initial:
             RecoverableBulkDelete(
                 case.db, "R", "A", case.keys, case.log,
-                lanes=scenario.lanes,
+                lanes=scenario.lanes, traffic=case.traffic,
             ).run()
             state = capture_state(case.db)
-    if state != oracle:
-        outcome.problems.append(_diff_states(oracle, state))
+            reissued = True
+    if with_traffic and not reissued:
+        # Writes whose commit record died with the crash were never
+        # acknowledged; the client re-submits them (the oracle ran the
+        # full schedule, so the comparison needs them applied).
+        committed = sum(1 for _ in case.log.records("user_op"))
+        for write in case.traffic_order[committed:]:
+            apply_user_write(case.db, case.log, "R", write)
+        case.db.flush()
+        state = capture_state(case.db)
+    if not matches_oracle(state):
+        outcome.problems.append(
+            _diff_states(oracle, state)
+            if not with_traffic
+            else "logical state != oracle after recovery + re-submit"
+        )
     outcome.problems.extend(
         integrity_problems(case.db, case.registry, case.keys)
     )

@@ -133,6 +133,40 @@ class Observer:
         self.metrics.counter("spill.pages_read").inc(pages)
 
     # ------------------------------------------------------------------
+    # OLTP traffic hooks (repro.workload.traffic)
+    # ------------------------------------------------------------------
+    def on_user_op(
+        self,
+        session: int,
+        kind: str,
+        latency_ms: float,
+        service_ms: float,
+        stall_kind: Optional[str],
+        stall_ms: float,
+    ) -> None:
+        """One user operation completed under the traffic driver.
+
+        ``latency_ms`` is arrival-to-completion on the simulated clock;
+        ``service_ms`` the op's own work; a non-``None`` ``stall_kind``
+        (``lock`` or ``lane``) attributes ``stall_ms`` of the latency
+        to a concurrent bulk-delete slice.
+        """
+        m = self.metrics
+        m.counter("oltp.ops").inc()
+        m.counter(f"oltp.ops.{kind}").inc()
+        m.timer("oltp.latency_ms").add_ms(latency_ms)
+        m.timer("oltp.service_ms").add_ms(service_ms)
+        if stall_kind is not None:
+            m.counter(f"oltp.stalls.{stall_kind}").inc()
+            m.timer("oltp.stall_ms").add_ms(stall_ms)
+
+    def on_delete_slice(self, label: str, elapsed_ms: float) -> None:
+        """One delete slice (critical phase, propagation step or chunk)
+        ran between user operations."""
+        self.metrics.counter("oltp.delete.slices").inc()
+        self.metrics.timer("oltp.delete.busy_ms").add_ms(elapsed_ms)
+
+    # ------------------------------------------------------------------
     # fault-injection hooks (repro.faults)
     # ------------------------------------------------------------------
     def on_fault_event(self, kind: str) -> None:

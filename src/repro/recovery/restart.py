@@ -49,8 +49,26 @@ __all__ = [
     "RecoverableBulkDelete",
     "RecoveryReport",
     "SimulatedCrash",
+    "UserWrite",
+    "apply_user_write",
     "recover",
+    "replay_user_writes",
 ]
+
+
+@dataclass(frozen=True)
+class UserWrite:
+    """One concurrent user write interleaved with a bulk delete.
+
+    ``op`` is ``"insert"`` or ``"delete"``; ``values`` is the complete
+    row either way, so a WAL record of the write carries everything
+    replay needs to recompute every index key.  The crash sweep's
+    traffic schedules guarantee each indexed column value identifies at
+    most one logical row, which is what makes replay-by-values exact.
+    """
+
+    op: str
+    values: Tuple[object, ...]
 
 
 @dataclass
@@ -62,6 +80,8 @@ class RecoveryReport:
     skipped_structures: List[str] = field(default_factory=list)
     redone_structures: List[str] = field(default_factory=list)
     records_deleted: int = 0
+    #: ``user_op`` records whose effects were verified/re-applied.
+    user_writes_replayed: int = 0
     side_files_applied: Dict[str, int] = field(default_factory=dict)
     torn_pages_repaired: int = 0
     wal_tail_truncated: bool = False
@@ -113,12 +133,20 @@ class RecoverableBulkDelete:
         contention: str = DEDICATED,
         lane_seed: int = 0,
         media: Optional[MediaRecovery] = None,
+        traffic: Optional[Dict[str, Sequence["UserWrite"]]] = None,
     ) -> None:
         self.db = db
         self.table_name = table_name
         self.column = column
         self.keys = list(keys)
         self.log = log
+        if traffic and lanes != 1:
+            raise RecoveryError(
+                "concurrent user traffic requires lanes=1 (boundary "
+                "application inside lane tasks would interleave "
+                "non-deterministically with the schedule)"
+            )
+        self.traffic = traffic or {}
         if faults is None and (crash_point or crash_mid_structure):
             faults = FaultInjector(FaultPlan(
                 crash_point=crash_point,
@@ -190,20 +218,24 @@ class RecoverableBulkDelete:
         # crash hits before the first structure completes.
         self._checkpoint(begin_lsn, "__initial__")
         self._maybe_crash("after_begin")
+        self._apply_traffic("after_begin")
 
         rid_list = self._run_driving(begin_lsn, driving_name, sorted_keys)
         self._checkpoint(begin_lsn, driving_name)
         self._maybe_crash("after_driving")
+        self._apply_traffic("after_driving")
 
         deleted = self._run_table(begin_lsn, others, rid_list)
         self._checkpoint(begin_lsn, "__table__")
         self._maybe_crash("after_table")
+        self._apply_traffic("after_table")
 
         if self.lanes == 1:
             for name in others:
                 self._run_index(begin_lsn, name)
                 self._checkpoint(begin_lsn, name)
                 self._maybe_crash(f"after_index:{name}")
+                self._apply_traffic(f"after_index:{name}")
         elif others:
             # Each lane task carries its own checkpoint and crash
             # point, so the durable-event order matches the (fixed,
@@ -225,8 +257,26 @@ class RecoverableBulkDelete:
             )
 
         self._maybe_crash("before_end")
+        self._apply_traffic("before_end")
         self.log.append("bulk_end", begin_lsn=begin_lsn)
         return deleted
+
+    def _apply_traffic(self, point: str) -> None:
+        """Apply the user writes scheduled at this stage boundary.
+
+        Each write's ``user_op`` WAL record is its commit point —
+        forced before any page effect, so a crash anywhere after the
+        append cannot lose the write (replay re-derives the effects
+        from the record), and a crash before it means the write never
+        committed (the client re-submits).  One flush per boundary
+        makes the batch durable the cheap way.
+        """
+        ops = self.traffic.get(point, ())
+        if not ops:
+            return
+        for op in ops:
+            apply_user_write(self.db, self.log, self.table_name, op)
+        self.db.flush()
 
     # ------------------------------------------------------------------
     # stages
@@ -369,6 +419,123 @@ class RecoverableBulkDelete:
         self.log.append("page_image", page_id=page_id, image=image)
 
 
+def apply_user_write(
+    db: Database, log: WriteAheadLog, table_name: str, write: UserWrite
+) -> None:
+    """Commit one user write: force its WAL record, then apply.
+
+    The record carries the full row, so :func:`replay_user_writes` can
+    re-derive every heap and index effect without reading anything that
+    might have been lost with the buffer pool.  Inserts go through the
+    normal online path; deletes locate their row through the first
+    index whose key matches (falling back to a heap scan) and use the
+    ordinary record-level delete.
+    """
+    table = db.table(table_name)
+    values = tuple(write.values)
+    log.append(
+        "user_op", table=table_name, op=write.op, values=list(values)
+    )
+    if write.op == "insert":
+        db.insert(table_name, values)
+    elif write.op == "delete":
+        for rid, row in db.scan(table_name):
+            if row == values:
+                db.delete_record(table_name, rid)
+                break
+        else:
+            raise RecoveryError(
+                f"user delete of absent row {values[:2]}... in {table_name}"
+            )
+    else:
+        raise RecoveryError(f"unknown user write op {write.op!r}")
+
+
+def replay_user_writes(db: Database, log: WriteAheadLog) -> int:
+    """Re-establish the effect of every committed user write.
+
+    A ``user_op`` record in the log means the write committed; its page
+    effects may or may not have reached disk (heap and index pages
+    flush independently, and a crash can split them).  Replay is an
+    idempotent *ensure*, in record order: an insert's row must exist
+    with exactly one entry per index; a delete's row must be gone from
+    the heap and from every index.  Stale entries — a key whose RID no
+    longer holds a row producing that key — are removed; this is exact
+    because the traffic schedules keep indexed column values unique per
+    logical row.  Counts are recounted afterwards (replay cannot know
+    which effects were already durable) and everything is flushed.
+
+    Returns the number of records processed (0 leaves the database
+    completely untouched — the non-traffic fast path).
+    """
+    records = list(log.records("user_op"))
+    if not records:
+        return 0
+    touched: Set[str] = set()
+    for record in records:
+        table_name = record.payload["table"]
+        table = db.table(table_name)
+        values = tuple(record.payload["values"])
+        touched.add(table_name)
+        live = [
+            rid for rid, row in db.scan(table_name) if row == values
+        ]
+        if record.payload["op"] == "insert":
+            if live:
+                rid = live[0]
+            else:
+                rid = table.heap.insert(table.serializer.pack(values))
+            _ensure_index_entries(table, values, rid)
+        else:
+            for victim in live:
+                table.heap.delete(victim, cold=True)
+            _drop_stale_entries(table, values)
+    for table_name in sorted(touched):
+        table = db.table(table_name)
+        table.heap._record_count = sum(1 for _ in table.heap.scan())
+        for ix in table.indexes.values():
+            if ix.is_btree:
+                _reconcile_entry_count(ix.tree)
+    db.flush()
+    return len(records)
+
+
+def _ensure_index_entries(table, values: Tuple[object, ...], rid) -> None:
+    """Exactly one entry per index maps this row's keys to ``rid``."""
+    packed = rid.pack()
+    for ix in table.indexes.values():
+        if not ix.is_btree:
+            continue
+        key = ix.key_for(values, table.schema)
+        _drop_mismatched(table, ix, key, keep=packed)
+        if packed not in ix.tree.search(key):
+            ix.tree.insert(key, packed)
+
+
+def _drop_stale_entries(table, values: Tuple[object, ...]) -> None:
+    """No index may keep an entry for this (deleted) row's keys."""
+    for ix in table.indexes.values():
+        if not ix.is_btree:
+            continue
+        key = ix.key_for(values, table.schema)
+        _drop_mismatched(table, ix, key, keep=None)
+
+
+def _drop_mismatched(table, ix, key: int, keep: Optional[int]) -> None:
+    """Drop entries under ``key`` whose RID does not hold a live row
+    producing ``key`` (except ``keep``, the entry being ensured)."""
+    for packed in list(ix.tree.search(key)):
+        if packed == keep:
+            continue
+        rid = RID.unpack(packed)
+        if not table.heap.exists(rid):
+            ix.tree.delete(key, packed)
+            continue
+        row = table.serializer.unpack(table.heap.read(rid))
+        if ix.key_for(row, table.schema) != key:
+            ix.tree.delete(key, packed)
+
+
 def recover(
     db: Database,
     log: WriteAheadLog,
@@ -410,6 +577,10 @@ def recover(
                 db.pool.page_image_sink = None
             if faults is not None:
                 faults.disarm()
+    # Committed user writes are re-established even when no statement
+    # is open: a write's WAL record can outlive unflushed page effects
+    # regardless of how the statement itself ended.
+    report.user_writes_replayed = replay_user_writes(db, log)
     if scrub:
         media = MediaRecovery(
             db.disk, image_sources=[("wal", wal_image_source(log))]

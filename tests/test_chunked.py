@@ -1,0 +1,119 @@
+"""The chunked ``DELETE ... LIMIT n`` baseline (:mod:`repro.core.chunked`).
+
+Correctness (same final state as the vertical plan), chunk accounting
+(sizes, durable progress writes), stepwise resumability, and the
+planner's cost estimate for it.
+"""
+
+import math
+
+import pytest
+
+from repro.core.chunked import ChunkedDelete, chunked_delete
+from repro.core.executor import bulk_delete
+from repro.core.planner import estimate_chunked_ms, estimate_horizontal_ms
+from repro.errors import PlanningError
+from repro.workload.generator import WorkloadConfig, build_workload
+
+
+def fresh(record_count=400):
+    wl = build_workload(WorkloadConfig(
+        record_count=record_count, index_columns=("A", "B")
+    ))
+    return wl, wl.delete_keys(0.2)
+
+
+def logical(db):
+    rows = sorted(v for _, v in db.scan("R"))
+    table = db.table("R")
+    indexes = {
+        name: sorted(k for k, _ in ix.tree.items())
+        for name, ix in table.indexes.items()
+    }
+    return rows, table.heap.record_count, indexes
+
+
+def test_chunked_matches_bulk_delete_final_state():
+    wl_chunk, keys = fresh()
+    result = chunked_delete(wl_chunk.db, "R", "A", keys, chunk_rows=32)
+    wl_bulk, keys_b = fresh()
+    assert keys == keys_b
+    bulk = bulk_delete(wl_bulk.db, "R", "A", keys_b, force_vertical=True)
+    assert result.records_deleted == bulk.records_deleted == len(keys)
+    assert logical(wl_chunk.db) == logical(wl_bulk.db)
+
+
+def test_chunk_accounting():
+    wl, keys = fresh()
+    result = chunked_delete(wl.db, "R", "A", keys, chunk_rows=32)
+    expected_chunks = math.ceil(len(keys) / 32)
+    assert result.chunk_count == expected_chunks
+    # One durable progress write per chunk — the accounting half.
+    assert result.progress_writes == expected_chunks
+    assert sum(c.rows for c in result.chunks) == len(keys)
+    assert all(c.rows <= 32 for c in result.chunks)
+    # Running totals are monotone and end at the full count.
+    totals = [c.deleted_total for c in result.chunks]
+    assert totals == sorted(totals)
+    assert totals[-1] == len(keys)
+    # Chunks are committed in key order and cost simulated time.
+    assert all(c.elapsed_ms > 0 for c in result.chunks)
+    assert result.elapsed_ms > 0
+
+
+def test_stepwise_interleaving_is_resumable():
+    """run_chunk() steps the statement one chunk at a time; arbitrary
+    work interleaved between chunks does not disturb it."""
+    wl, keys = fresh()
+    ex = ChunkedDelete(wl.db, "R", "A", keys, chunk_rows=50)
+    steps = 0
+    while not ex.done:
+        before = ex.remaining
+        stats = ex.run_chunk()
+        assert stats is not None
+        assert ex.remaining == before - stats.rows
+        steps += 1
+        # Interleaved reader between chunks: deleted keys are really
+        # gone, survivors still reachable.
+        table = wl.db.table("R")
+        tree = table.indexes_on("A")[0].tree
+        gone = set(keys[: ex.result.records_deleted])
+        assert not any(tree.search(k) for k in sorted(gone)[:3])
+    assert steps == math.ceil(len(keys) / 50)
+    assert ex.run_chunk() is None
+    assert ex.remaining == 0
+
+
+def test_chunked_validation():
+    wl, keys = fresh(120)
+    with pytest.raises(PlanningError):
+        ChunkedDelete(wl.db, "R", "A", keys, chunk_rows=0)
+    with pytest.raises(PlanningError):
+        ChunkedDelete(wl.db, "R", "C", keys)  # no index on C
+
+
+def test_estimate_chunked_ms():
+    wl, keys = fresh()
+    table = wl.db.table("R")
+    n = len(keys)
+    base = estimate_horizontal_ms(wl.db, table, n, presorted=True)
+    est = estimate_chunked_ms(wl.db, table, n, chunk_rows=32)
+    # The estimate is the presorted horizontal base plus one random
+    # positioning per chunk for the progress write.
+    chunks = math.ceil(n / 32)
+    random_ms = wl.db.disk.parameters.random_ms(wl.db.page_size)
+    assert est.io_ms == base.io_ms + chunks * random_ms  # lint: allow(float-cost-eq)
+    assert "chunk" in est.detail
+    # More chunks -> strictly more overhead.
+    finer = estimate_chunked_ms(wl.db, table, n, chunk_rows=8)
+    assert finer.io_ms > est.io_ms
+    with pytest.raises(PlanningError):
+        estimate_chunked_ms(wl.db, table, n, chunk_rows=0)
+
+
+def test_estimate_zero_deletes_has_no_progress_cost():
+    wl, _ = fresh(120)
+    table = wl.db.table("R")
+    base = estimate_horizontal_ms(wl.db, table, 0, presorted=True)
+    est = estimate_chunked_ms(wl.db, table, 0)
+    assert est.io_ms == base.io_ms  # lint: allow(float-cost-eq)

@@ -24,6 +24,7 @@ def test_doc_set_is_nonempty_and_includes_the_guides():
     assert "README.md" in names
     assert "EXPERIMENTS.md" in names
     assert "parallelism.md" in names
+    assert "workloads.md" in names
 
 
 def test_no_dead_intra_repo_links():

@@ -15,6 +15,7 @@ from repro.analysis.effects import STALE_BASELINE_RULE
 from repro.analysis.effects.contracts import EFFECT_RULES
 from repro.analysis.effects.lanesafety import LANE_RULE, OPAQUE_RULE
 from repro.analysis.plan_lint import PLAN_RULES
+from repro.workload.traffic import STALL_LANE, STALL_LOCK
 
 DOC = Path(__file__).resolve().parent.parent / "docs" / "static_analysis.md"
 
@@ -50,6 +51,65 @@ def test_every_documented_rule_exists():
     assert not phantom, (
         f"{DOC.name} documents rules no checker registers: "
         f"{sorted(phantom)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# metrics catalogue sync: the oltp.* family (docs/observability.md)
+# ----------------------------------------------------------------------
+OBS_DOC = Path(__file__).resolve().parent.parent / "docs" / "observability.md"
+OBSERVER_SRC = (
+    Path(__file__).resolve().parent.parent
+    / "src" / "repro" / "obs" / "observer.py"
+)
+
+# The expansions of the f-string metric names in the observer hooks.
+_OP_KINDS = ("read", "update", "insert")
+_STALL_KINDS = (STALL_LOCK, STALL_LANE)
+
+_EMIT = re.compile(r'(?:counter|timer)\(\s*f?"(oltp\.[^"]+)"')
+# A documented name: `oltp.a.b` or `oltp.a.{x,y,z}` inside backticks.
+_DOC_NAME = re.compile(r"`(oltp\.[a-z_.{},]+)`")
+
+
+def emitted_oltp_metric_names():
+    names = set()
+    for raw in _EMIT.findall(OBSERVER_SRC.read_text()):
+        if "{kind}" in raw:
+            names |= {raw.replace("{kind}", k) for k in _OP_KINDS}
+        elif "{stall_kind}" in raw:
+            names |= {raw.replace("{stall_kind}", k) for k in _STALL_KINDS}
+        else:
+            names.add(raw)
+    return names
+
+
+def documented_oltp_metric_names():
+    names = set()
+    for raw in _DOC_NAME.findall(OBS_DOC.read_text()):
+        match = re.fullmatch(r"([a-z_.]+)\{([a-z_,]+)\}", raw)
+        if match:
+            prefix, alts = match.groups()
+            names |= {prefix + alt for alt in alts.split(",")}
+        else:
+            names.add(raw)
+    return names
+
+
+def test_every_emitted_oltp_metric_is_catalogued():
+    assert emitted_oltp_metric_names(), "observer hooks must emit oltp.*"
+    missing = emitted_oltp_metric_names() - documented_oltp_metric_names()
+    assert not missing, (
+        f"oltp metrics with no catalog row in observability.md: "
+        f"{sorted(missing)}"
+    )
+
+
+def test_every_catalogued_oltp_metric_is_emitted():
+    phantom = documented_oltp_metric_names() - emitted_oltp_metric_names()
+    assert not phantom, (
+        f"observability.md catalogues oltp metrics the observer never "
+        f"emits: {sorted(phantom)}"
     )
 
 

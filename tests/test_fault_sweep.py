@@ -153,3 +153,77 @@ def test_faultsweep_cli_smoke(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "failures: 0" in out
+
+
+# ----------------------------------------------------------------------
+# concurrent user traffic during the swept statement
+# ----------------------------------------------------------------------
+TRAFFIC = dataclasses.replace(SMALL, traffic_ops=5)
+
+
+def test_traffic_schedule_is_deterministic_and_safe():
+    a, b = TRAFFIC.build(), TRAFFIC.build()
+    assert a.traffic_order == b.traffic_order
+    assert len(a.traffic_order) == 5
+    assert sum(len(ws) for ws in a.traffic.values()) == 5
+    # Inserts use values disjoint from the generated data; deletes
+    # target unreferenced survivors only (the FK must keep holding).
+    survivors = {
+        row[0] for _, row in a.db.scan("R")
+    } - set(a.keys)
+    referenced = {row[0] for _, row in a.db.scan("S")}
+    for write in a.traffic_order:
+        if write.op == "insert":
+            assert write.values[0] not in survivors
+        else:
+            assert write.values[0] in survivors - referenced
+
+
+def test_traffic_zero_keeps_classic_case():
+    case = SMALL.build()
+    assert case.traffic == {} and case.traffic_order == []
+
+
+def test_lost_user_writes_detector():
+    from repro.faults.sweep import lost_user_writes
+    from repro.recovery.restart import apply_user_write
+
+    case = TRAFFIC.build()
+    write = next(w for w in case.traffic_order if w.op == "insert")
+    apply_user_write(case.db, case.log, "R", write)
+    assert lost_user_writes(case.db, case.log) == []
+    # Losing the row's effect must be reported.
+    for rid, row in case.db.scan("R"):
+        if row == tuple(write.values):
+            case.db.delete_record("R", rid)
+            break
+    problems = lost_user_writes(case.db, case.log)
+    assert any("lost committed user insert" in p for p in problems)
+
+
+def test_traffic_sweep_every_point_recovers_with_zero_lost_writes():
+    report = crash_point_sweep(TRAFFIC, double_crash=False)
+    assert report.durable_events > 10
+    assert report.ok, report.summary()
+
+
+def test_traffic_sweep_with_double_crashes_and_tail_loss():
+    report = crash_point_sweep(TRAFFIC, max_points=4, double_samples=1)
+    assert report.ok, report.summary()
+    for tail in ("drop", "torn"):
+        report = crash_point_sweep(
+            TRAFFIC, max_points=4, double_crash=False, wal_tail=tail
+        )
+        assert report.ok, report.summary()
+
+
+def test_faultsweep_cli_traffic_smoke(capsys):
+    from repro.cli import main
+
+    code = main([
+        "faultsweep", "--max-points", "4", "--records", "24",
+        "--no-double", "--traffic", "4",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "failures: 0" in out
