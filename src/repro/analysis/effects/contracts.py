@@ -94,6 +94,28 @@ EFFECT_RULES: Dict[str, ContractEntry] = {
             ),
         ),
         ContractEntry(
+            rule_id="effect/shard-routing-pure",
+            scope="shard",
+            forbid=frozenset(
+                {
+                    "clock.advance",
+                    "clock.rewind",
+                    "disk.read",
+                    "disk.write",
+                    "wal.append",
+                }
+            ),
+            exempt=("shard.executor", "shard.faults"),
+            description=(
+                "Shard routing and hot-range planning are arithmetic "
+                "over the shard map and access counters: splitting a "
+                "delete list must not reach the simulated clock or any "
+                "I/O.  Only the executor (which runs the fragments) "
+                "and the crash sweep (which drives recoverable "
+                "statements) touch the machine."
+            ),
+        ),
+        ContractEntry(
             rule_id="effect/crash-confinement",
             scope="",
             forbid=frozenset({"crash.raise"}),

@@ -26,7 +26,18 @@ ERROR findings (``validate=True``), and EXPLAIN appends the report.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.shard.planning import ShardedDeletePlan
 
 from repro.analysis.findings import Finding, Severity
 from repro.catalog.catalog import IndexInfo, TableInfo
@@ -50,6 +61,9 @@ class PlanContext:
     plan: BulkDeletePlan
     db: Optional[Database] = None
     table: Optional[TableInfo] = None
+    #: Set by :func:`lint_sharded_plan` for the shard-level pass; the
+    #: shard rules no-op when it is ``None`` (plain unsharded lint).
+    shard_plan: Optional["ShardedDeletePlan"] = None
 
     def index(self, name: str) -> Optional[IndexInfo]:
         if self.table is None or name not in self.table.indexes:
@@ -350,6 +364,72 @@ def _rule_parallel_lane_safety(ctx: PlanContext) -> Iterator[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# shard-level rules (run by lint_sharded_plan; no-ops otherwise)
+# ---------------------------------------------------------------------------
+@plan_rule(
+    "plan/shard-coverage",
+    "every delete key of a sharded plan is routed to exactly one "
+    "fragment, inside that fragment's shard range, and concurrent "
+    "fragments target distinct shards",
+)
+def _rule_shard_coverage(ctx: PlanContext) -> Iterator[Finding]:
+    shard_plan = ctx.shard_plan
+    if shard_plan is None:
+        return
+    shard_map = shard_plan.shard_map
+    seen: Dict[int, int] = {}
+    for frag in shard_plan.fragments:
+        node = f"shard[{frag.shard_id}] {frag.table_name}"
+        for key in frag.keys:
+            if not shard_map.covers(frag.shard_id, key):
+                yield Finding(
+                    "plan/shard-coverage",
+                    Severity.ERROR,
+                    node,
+                    f"key {key} is routed to shard {frag.shard_id} "
+                    f"{shard_map.describe(frag.shard_id)} but lies "
+                    "outside that range; the fragment would sweep the "
+                    "wrong structures",
+                )
+            elif key in seen:
+                yield Finding(
+                    "plan/shard-coverage",
+                    Severity.ERROR,
+                    node,
+                    f"key {key} appears in fragments of shard "
+                    f"{seen[key]} and shard {frag.shard_id}; a key "
+                    "must be routed exactly once",
+                )
+            else:
+                seen[key] = frag.shard_id
+        if ctx.table is not None and ctx.table.is_sharded:
+            expected = ctx.table.shard(frag.shard_id).name
+            if frag.table_name != expected:
+                yield Finding(
+                    "plan/shard-coverage",
+                    Severity.ERROR,
+                    node,
+                    f"fragment targets {frag.table_name!r} but shard "
+                    f"{frag.shard_id} of {shard_plan.table_name} is "
+                    f"{expected!r}",
+                )
+    targets: Dict[str, int] = {}
+    for frag in shard_plan.fragments:
+        if frag.is_parallel:
+            targets[frag.table_name] = targets.get(frag.table_name, 0) + 1
+    for target, count in sorted(targets.items()):
+        if count > 1:
+            yield Finding(
+                "plan/shard-coverage",
+                Severity.ERROR,
+                target,
+                f"{count} parallel fragments target shard table "
+                f"{target}; concurrent lanes must not share a mutable "
+                "structure (serialize or merge the fragments)",
+            )
+
+
+# ---------------------------------------------------------------------------
 # catalog-aware rules
 # ---------------------------------------------------------------------------
 @plan_rule(
@@ -519,6 +599,41 @@ def lint_plan(
     findings: List[Finding] = []
     for rule_id in selected:
         findings.extend(PLAN_RULES[rule_id].check(ctx))
+    order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+    findings.sort(key=lambda f: (order[f.severity], f.rule_id, f.node))
+    return findings
+
+
+def lint_sharded_plan(
+    shard_plan: "ShardedDeletePlan",
+    db: Optional[Database] = None,
+) -> List[Finding]:
+    """Lint a sharded plan: each fragment's core plan, then the
+    shard-level routing invariants (``plan/shard-coverage``).
+
+    Fragment plans go through the full :func:`lint_plan` rule set with
+    catalog context (each against its own physical shard table); the
+    shard pass runs once over the whole fragment list.
+    """
+    findings: List[Finding] = []
+    for frag in shard_plan.fragments:
+        findings.extend(lint_plan(frag.plan, db))
+    table: Optional[TableInfo] = None
+    if db is not None and db.catalog.has_table(shard_plan.table_name):
+        table = db.table(shard_plan.table_name)
+    anchor = (
+        shard_plan.fragments[0].plan
+        if shard_plan.fragments
+        else BulkDeletePlan(
+            table_name=shard_plan.table_name,
+            column=shard_plan.column,
+            driving_index=None,
+        )
+    )
+    ctx = PlanContext(
+        plan=anchor, db=db, table=table, shard_plan=shard_plan
+    )
+    findings.extend(PLAN_RULES["plan/shard-coverage"].check(ctx))
     order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
     findings.sort(key=lambda f: (order[f.severity], f.rule_id, f.node))
     return findings

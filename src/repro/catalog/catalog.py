@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.shard.map import ShardMap
 
 from repro.btree.tree import BLinkTree
 from repro.catalog.composite import CompositeKeyCodec
@@ -128,13 +131,31 @@ class IndexInfo:
 
 
 class TableInfo:
-    """A table: schema, heap file, serializer, and its indexes."""
+    """A table: schema, heap file, serializer, and its indexes.
+
+    A *range-sharded* table is a logical entry whose ``shard_map``
+    partitions its key space and whose ``shards`` list holds one
+    physical ``TableInfo`` per range (each with its own heap and
+    indexes, named ``{name}::s{i}``).  The logical entry's own heap
+    stays empty — rows live only in the shards — and DML against it
+    routes through the map (see :meth:`Database.create_sharded_table
+    <repro.catalog.database.Database.create_sharded_table>`).
+    """
 
     def __init__(self, schema: TableSchema, heap: HeapFile) -> None:
         self.schema = schema
         self.heap = heap
         self.serializer = RecordSerializer(schema)
         self.indexes: Dict[str, IndexInfo] = {}
+        #: Range partitioning of this table, or ``None`` (unsharded).
+        self.shard_map: Optional["ShardMap"] = None
+        #: Physical per-range tables, index-aligned with the map.
+        self.shards: List["TableInfo"] = []
+        #: Per-shard access counters (keys routed), the raw feed of
+        #: hot-range detection.  Plain dict arithmetic — the planner
+        #: reads it I/O-free; executors bump it via
+        #: :meth:`note_shard_access`.
+        self.shard_accesses: Dict[int, int] = {}
 
     @property
     def name(self) -> str:
@@ -142,7 +163,27 @@ class TableInfo:
 
     @property
     def record_count(self) -> int:
+        if self.is_sharded:
+            return sum(shard.heap.record_count for shard in self.shards)
         return self.heap.record_count
+
+    @property
+    def is_sharded(self) -> bool:
+        return self.shard_map is not None
+
+    def shard(self, shard_id: int) -> "TableInfo":
+        try:
+            return self.shards[shard_id]
+        except IndexError:
+            raise CatalogError(
+                f"table {self.name} has no shard {shard_id}"
+            )
+
+    def note_shard_access(self, shard_id: int, keys: int = 1) -> None:
+        """Record that ``keys`` accesses routed to one shard."""
+        self.shard_accesses[shard_id] = (
+            self.shard_accesses.get(shard_id, 0) + keys
+        )
 
     def add_index(self, index: IndexInfo) -> None:
         if index.name in self.indexes:

@@ -63,8 +63,76 @@ class Database:
         self.catalog.add_table(table)
         return table
 
+    def create_sharded_table(
+        self,
+        schema: TableSchema,
+        shard_column: str,
+        bounds: Sequence[int],
+    ) -> TableInfo:
+        """Create a range-sharded table: a logical entry plus one
+        physical table per key range.
+
+        ``bounds`` are the strictly increasing interior split points on
+        ``shard_column`` (``len(bounds) + 1`` shards, open outer ends;
+        a key on a bound belongs to the upper shard).  Rows live only
+        in the physical shards (``{name}::s{i}``); the logical entry
+        carries the map and routes DML.
+        """
+        from repro.shard.map import ShardMap
+
+        if not schema.has_column(shard_column):
+            raise CatalogError(
+                f"table {schema.name} has no shard column {shard_column}"
+            )
+        if schema.attribute(shard_column).data_type is not DataType.INT:
+            raise CatalogError(
+                f"shard column {shard_column} must be INT"
+            )
+        shard_map = ShardMap(column=shard_column, bounds=tuple(bounds))
+        table = self.create_table(schema)
+        table.shard_map = shard_map
+        for shard_id in range(shard_map.shard_count):
+            shard_schema = TableSchema.of(
+                f"{schema.name}::s{shard_id}", list(schema.attributes)
+            )
+            table.shards.append(self.create_table(shard_schema))
+        return table
+
+    def create_sharded_index(
+        self,
+        table_name: str,
+        column: str,
+        unique: bool = False,
+        clustered: bool = False,
+        max_leaf_entries: Optional[int] = None,
+        max_inner_entries: Optional[int] = None,
+        build_method: str = "bulk",
+    ) -> List[IndexInfo]:
+        """Create one index per shard of a sharded table.
+
+        Each shard gets its own B-link tree over its own rows — the
+        per-shard structures a shard-local bulk delete sweeps without
+        touching any other shard.
+        """
+        table = self.catalog.table(table_name)
+        if not table.is_sharded:
+            raise CatalogError(
+                f"table {table_name} is not sharded; use create_index"
+            )
+        return [
+            self.create_index(
+                shard.name, column, unique=unique, clustered=clustered,
+                max_leaf_entries=max_leaf_entries,
+                max_inner_entries=max_inner_entries,
+                build_method=build_method,
+            )
+            for shard in table.shards
+        ]
+
     def drop_table(self, name: str) -> None:
         table = self.catalog.drop_table(name)
+        for shard in table.shards:
+            self.drop_table(shard.name)
         for index in list(table.indexes.values()):
             self._drop_structure(index)
         table.heap.drop()
@@ -104,6 +172,11 @@ class Database:
         if build_method not in ("bulk", "insert"):
             raise CatalogError(f"unknown index build method {build_method!r}")
         table = self.catalog.table(table_name)
+        if table.is_sharded:
+            raise CatalogError(
+                f"table {table_name} is sharded; use create_sharded_index "
+                "so every shard gets its own structure"
+            )
         index_name = name or f"I_{table_name}_{column}"
         tree = BLinkTree(
             self.pool,
@@ -192,8 +265,18 @@ class Database:
     # record-level DML (the horizontal path)
     # ------------------------------------------------------------------
     def insert(self, table_name: str, values: Sequence[object]) -> RID:
-        """Insert one record and maintain every index immediately."""
+        """Insert one record and maintain every index immediately.
+
+        Against a sharded table the row routes to the shard covering
+        its shard-column value (routing is pure arithmetic: the only
+        simulated cost is the shard-local insert itself).
+        """
         table = self.catalog.table(table_name)
+        if table.is_sharded:
+            assert table.shard_map is not None
+            key = table.key_of(tuple(values), table.shard_map.column)
+            shard = table.shard(table.shard_map.shard_of(key))
+            return self.insert(shard.name, values)
         payload = table.serializer.pack(values)
         # Fail before touching storage: every index must be on-line and
         # every unique constraint satisfied, or nothing happens at all.
@@ -216,8 +299,26 @@ class Database:
         self, table_name: str, rows: Iterable[Sequence[object]]
     ) -> int:
         """Append rows without index maintenance (call before
-        ``create_index`` for bulk setup); returns the number loaded."""
+        ``create_index`` for bulk setup); returns the number loaded.
+
+        A sharded table routes each row to its covering shard, then
+        appends shard-locally in arrival order — one pure-Python
+        partition pass, no extra simulated I/O over the unsharded
+        load of the same rows."""
         table = self.catalog.table(table_name)
+        if table.is_sharded:
+            assert table.shard_map is not None
+            shard_map = table.shard_map
+            routed: List[List[Sequence[object]]] = [
+                [] for _ in range(shard_map.shard_count)
+            ]
+            for values in rows:
+                key = table.key_of(tuple(values), shard_map.column)
+                routed[shard_map.shard_of(key)].append(values)
+            return sum(
+                self.load_table(shard.name, shard_rows)
+                for shard, shard_rows in zip(table.shards, routed)
+            )
         if table.indexes:
             raise CatalogError(
                 "load_table must run before indexes exist; use insert()"
@@ -239,6 +340,11 @@ class Database:
         The heap page is read *cold*: random single-record accesses must
         not flush the index pages the next deletes will need."""
         table = self.catalog.table(table_name)
+        if table.is_sharded:
+            raise CatalogError(
+                f"table {table_name} is sharded and a RID does not name "
+                "a shard; delete against the physical shard table"
+            )
         payload = table.heap.delete(rid, cold=True)
         values = table.serializer.unpack(payload)
         for index in table.indexes.values():
@@ -248,8 +354,17 @@ class Database:
         return values
 
     def scan(self, table_name: str):
-        """Yield ``(rid, values)`` for every record, in physical order."""
+        """Yield ``(rid, values)`` for every record, in physical order.
+
+        A sharded table chains its shards in range order; RIDs are
+        shard-local (two shards may yield the same RID for different
+        rows)."""
         table = self.catalog.table(table_name)
+        if table.is_sharded:
+            for shard in table.shards:
+                for rid, values in self.scan(shard.name):
+                    yield rid, values
+            return
         for rid, payload in table.heap.scan():
             yield rid, table.serializer.unpack(payload)
 

@@ -26,6 +26,15 @@ Commands:
   the fault-free oracle (see :mod:`repro.faults`); ``--traffic N``
   commits N concurrent user writes at the statement's stage
   boundaries and additionally requires zero lost committed writes,
+  and ``--shards K`` sweeps the crash over every global durable event
+  of a K-shard recoverable statement sequence instead,
+* ``shard`` — range-sharded bulk delete: route a delete list across
+  key-range shards (each with its own heap and indexes) and run the
+  fragments as independent lane tasks (``--lanes``, ``--shards``);
+  ``--selfcheck`` asserts exact-once routing, 1-shard bit-identity
+  with the unsharded executor, lane speedup, exact rollup
+  reconciliation, and hot-range taming (see :mod:`repro.shard` and
+  ``docs/sharding.md``),
 * ``mediasweep`` — the media-failure analogue: inject every read-fault
   kind (transient / latent / stuck) on every durable page and assert
   the statement either self-heals to the fault-free oracle or aborts
@@ -300,6 +309,24 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
     from repro.faults import crash_point_sweep
     from repro.faults.sweep import SweepScenario
 
+    if args.shards > 0:
+        from repro.shard import ShardSweepScenario, shard_crash_sweep
+
+        report = shard_crash_sweep(
+            scenario=dataclasses.replace(
+                ShardSweepScenario(),
+                records=args.records, shards=args.shards,
+            ),
+            max_points=args.max_points,
+            log_fn=print if args.verbose else None,
+        )
+        print(report.summary())
+        if not report.ok:
+            for failure in report.failures:
+                print(f"  {failure}")
+            return 1
+        return 0
+
     scenario = dataclasses.replace(
         SweepScenario(), records=args.records, lanes=args.lanes,
         traffic_ops=args.traffic,
@@ -318,6 +345,168 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
             print(f"  {failure}")
         return 1
     return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    if args.selfcheck:
+        return _shard_selfcheck()
+    from repro.shard import sharded_bulk_delete
+    from repro.workload.generator import (
+        WorkloadConfig,
+        build_sharded_workload,
+    )
+
+    config = WorkloadConfig(
+        record_count=args.records, index_columns=("A",),
+        memory_paper_mb=5.0,
+    )
+    workload = build_sharded_workload(config, shards=args.shards)
+    keys = workload.delete_keys(0.15)
+    workload.reset_measurements()
+    result = sharded_bulk_delete(
+        workload.db, "R", "A", keys, lanes=args.lanes
+    )
+    print(result.plan.explain())
+    print(result.summary())
+    problems = result.reconciliation_problems()
+    for problem in problems:
+        print(f"  reconciliation problem: {problem}")
+    return 0 if not problems else 1
+
+
+def _shard_selfcheck() -> int:
+    """Assert the sharding layer's invariants on fixed scenarios."""
+    from repro.core.executor import bulk_delete
+    from repro.shard import choose_sharded_plan, sharded_bulk_delete
+    from repro.shard.planning import HOT_SERIALIZE, HOT_SPLIT
+    from repro.workload.generator import (
+        WorkloadConfig,
+        build_sharded_workload,
+        build_workload,
+    )
+
+    failures: List[str] = []
+
+    def check(label: str, ok: bool) -> None:
+        print(f"  {'ok' if ok else 'FAIL'}: {label}")
+        if not ok:
+            failures.append(label)
+
+    config = WorkloadConfig(
+        record_count=2000, index_columns=("A",), memory_paper_mb=5.0
+    )
+
+    # 1. Routing covers every key exactly once and the plan lints clean.
+    workload = build_sharded_workload(config, shards=4)
+    keys = workload.delete_keys(0.15)
+    plan = choose_sharded_plan(workload.db, "R", "A", keys, lanes=2)
+    routed = [k for frag in plan.fragments for k in frag.keys]
+    check(
+        "every key routed to exactly one fragment",
+        sorted(routed) == sorted(keys),
+    )
+    from repro.analysis.plan_lint import lint_sharded_plan
+    check(
+        "sharded plan lints clean",
+        not lint_sharded_plan(plan, workload.db),
+    )
+
+    # 2. One shard on one lane is bit-identical to the unsharded
+    #    executor (same keys, same simulated clock, to the last bit).
+    plain = build_workload(config)
+    plain_keys = plain.delete_keys(0.15)
+    plain.reset_measurements()
+    serial_result = bulk_delete(
+        plain.db, "R", "A", plain_keys, force_vertical=True
+    )
+    single = build_sharded_workload(config, shards=1)
+    single_keys = single.delete_keys(0.15)
+    single.reset_measurements()
+    sharded_result = sharded_bulk_delete(
+        single.db, "R", "A", single_keys, lanes=1
+    )
+    check(
+        "1 shard x 1 lane is bit-identical to the unsharded executor",
+        plain_keys == single_keys
+        and sharded_result.elapsed_ms == serial_result.elapsed_ms  # lint: allow(float-cost-eq)
+        and single.db.clock.now_ms == plain.db.clock.now_ms  # lint: allow(float-cost-eq)
+        and sharded_result.records_deleted == serial_result.records_deleted,
+    )
+
+    # 3. Four shards on two dedicated lanes: the region speeds up and
+    #    the logical outcome matches the serial sharded run.
+    workload = build_sharded_workload(config, shards=4)
+    keys = workload.delete_keys(0.15)
+    workload.reset_measurements()
+    observer = workload.db.observe()
+    result = sharded_bulk_delete(workload.db, "R", "A", keys, lanes=2)
+    workload.db.unobserve()
+    baseline = build_sharded_workload(config, shards=4)
+    baseline.reset_measurements()
+    serial = sharded_bulk_delete(baseline.db, "R", "A", keys, lanes=1)
+    check(
+        "2 dedicated lanes beat serial over 4 shards (>=1.9x region)",
+        result.region is not None and result.region.speedup >= 1.9,
+    )
+    check(
+        "parallel and serial sharded runs delete the same rows",
+        result.records_deleted == serial.records_deleted
+        and sorted(r[0] for r in workload.db.scan("R"))
+        == sorted(r[0] for r in baseline.db.scan("R")),
+    )
+
+    # 4. Rollups reconcile exactly and the shard.* metrics were fed.
+    check(
+        "lane/fragment/row rollups reconcile exactly",
+        not result.reconciliation_problems()
+        and not serial.reconciliation_problems(),
+    )
+    metrics = observer.metrics
+    check(
+        "shard.* metrics record the routing",
+        metrics.value("shard.route.calls") == 1
+        and metrics.value("shard.route.keys") == len(keys)
+        and metrics.value("shard.accesses") == len(keys),
+    )
+
+    # 5. Hot ranges are tamed: an oversized fragment splits, a
+    #    traffic-skewed shard serializes.  (The factor-2 threshold
+    #    needs the skew to *double* the mean — a fragment can never be
+    #    hot-by-size against only one sibling.)
+    workload = build_sharded_workload(config, shards=4)
+    table = workload.db.table("R")
+    bounds = table.shard_map.bounds
+    skewed = [a for a in workload.a_values if a < bounds[0]][:200]
+    skewed += [
+        a for a in workload.a_values if bounds[0] <= a < bounds[1]
+    ][:10]
+    skewed += [a for a in workload.a_values if a >= bounds[-1]][:10]
+    hot_plan = choose_sharded_plan(
+        workload.db, "R", "A", skewed, lanes=2, hot_factor=2.0
+    )
+    check(
+        "oversized fragment is split into serialized pieces",
+        any(f.policy == HOT_SPLIT for f in hot_plan.fragments),
+    )
+    for shard_id in (0, 1, 3):
+        table.note_shard_access(shard_id, 10)
+    for _ in range(70):
+        table.note_shard_access(2, 10)
+    even = workload.delete_keys(0.15)
+    skew_plan = choose_sharded_plan(
+        workload.db, "R", "A", even, lanes=2, hot_factor=2.0
+    )
+    check(
+        "traffic-skewed shard is serialized out of the lane region",
+        any(
+            f.policy == HOT_SERIALIZE and f.shard_id == 2
+            for f in skew_plan.fragments
+        ),
+    )
+
+    status = "ok" if not failures else f"{len(failures)} failure(s)"
+    print(f"shard selfcheck: {status}")
+    return 0 if not failures else 1
 
 
 def _cmd_mediasweep(args: argparse.Namespace) -> int:
@@ -626,9 +815,34 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="commit K concurrent user writes at the "
                          "statement's stage boundaries and require "
                          "zero lost committed writes after recovery")
+    p_sweep.add_argument("--shards", type=int, default=0,
+                         help="sweep a range-sharded delete instead: "
+                         "crash after every global durable event of a "
+                         "K-shard statement sequence (ignores the "
+                         "single-table-only flags)")
     p_sweep.add_argument("--verbose", action="store_true",
                          help="print per-point progress")
     p_sweep.set_defaults(func=_cmd_faultsweep)
+
+    p_shard = sub.add_parser(
+        "shard",
+        help="range-sharded bulk delete: route a delete list across "
+        "key-range shards and run the fragments on parallel lanes",
+    )
+    p_shard.add_argument("--records", type=int, default=8000,
+                         help="rows in the sharded workload")
+    p_shard.add_argument("--shards", type=int, default=4,
+                         help="equi-depth key ranges on the driving "
+                         "column A")
+    p_shard.add_argument("--lanes", type=int, default=2,
+                         help="dedicated lanes for the shard region "
+                         "(1 = the exact serial code path)")
+    p_shard.add_argument("--selfcheck", action="store_true",
+                         help="assert the sharding invariants on fixed "
+                         "scenarios: exact-once routing, 1-shard "
+                         "bit-identity, lane speedup, exact rollup "
+                         "reconciliation, hot-range taming")
+    p_shard.set_defaults(func=_cmd_shard)
 
     p_media = sub.add_parser(
         "mediasweep",

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.catalog.database import Database
-from repro.errors import PlanningError
+from repro.errors import PlanningError, ReproError
 from repro.query.sort import ExternalSorter
 from repro.storage.heap import HeapFile
 from repro.storage.rid import RID
@@ -53,6 +53,10 @@ class ChunkedDeleteResult:
     records_deleted: int = 0
     chunks: List[ChunkStats] = field(default_factory=list)
     progress_writes: int = 0
+    #: Clock reading after the final ``db.flush()`` of :meth:`run`,
+    #: ``None`` while chunks are still being stepped (or when the
+    #: caller flushes on its own schedule, as the traffic driver does).
+    flushed_ms: Optional[float] = None
 
     @property
     def chunk_count(self) -> int:
@@ -60,9 +64,20 @@ class ChunkedDeleteResult:
 
     @property
     def elapsed_ms(self) -> float:
+        """First chunk start to last accounted instant.
+
+        The end point is the post-flush clock when :meth:`run` did the
+        final flush — the flush is part of the chunked baseline's
+        window, not free — and the last chunk's end otherwise.
+        """
         if not self.chunks:
             return 0.0
-        return self.chunks[-1].end_ms - self.chunks[0].start_ms
+        end_ms = (
+            self.flushed_ms
+            if self.flushed_ms is not None
+            else self.chunks[-1].end_ms
+        )
+        return end_ms - self.chunks[0].start_ms
 
 
 class ChunkedDelete:
@@ -75,7 +90,14 @@ class ChunkedDelete:
     "accounting" half of the production idiom.
     """
 
+    #: Floor for the progress record.  The actual record is sized per
+    #: statement in ``__init__`` so the table name plus any counter the
+    #: statement can reach always fit — the record must never truncate,
+    #: because a truncated counter is a corrupted resume point.
     PROGRESS_RECORD_BYTES = 32
+    #: Digits reserved for the ``records_deleted`` counter; 20 covers
+    #: every value below 10**20, far beyond any delete list.
+    PROGRESS_COUNTER_DIGITS = 20
 
     def __init__(
         self,
@@ -102,6 +124,15 @@ class ChunkedDelete:
         # sort path, so the baseline gets its best access pattern.
         sorter = ExternalSorter(db.disk, db.memory_bytes, width=1)
         self._keys = [k for (k,) in sorter.sort((k,) for k in keys)]
+        # Fixed per-statement record size: name + ':' + counter digits,
+        # never below the floor.  Every progress write is a same-size
+        # in-place update of one row, and nothing ever truncates.
+        self._progress_bytes = max(
+            self.PROGRESS_RECORD_BYTES,
+            len(table_name.encode("ascii"))
+            + 1
+            + self.PROGRESS_COUNTER_DIGITS,
+        )
         self._cursor = 0
         self._progress_heap: Optional[HeapFile] = None
         self._progress_rid: Optional[RID] = None
@@ -149,10 +180,16 @@ class ChunkedDelete:
         return stats
 
     def run(self) -> ChunkedDeleteResult:
-        """Run every remaining chunk back to back, then flush."""
+        """Run every remaining chunk back to back, then flush.
+
+        The flush belongs to the statement — without it the dirtied
+        pages are not durable — so its time is accounted to the result
+        (``flushed_ms`` ends the ``elapsed_ms`` window).
+        """
         while self.run_chunk() is not None:
             pass
         self.db.flush()
+        self.result.flushed_ms = self.db.clock.now_ms
         return self.result
 
     # ------------------------------------------------------------------
@@ -160,9 +197,16 @@ class ChunkedDelete:
         """Durably account the chunk: update + flush the progress row."""
         payload = (
             f"{self.table_name}:{self.result.records_deleted}"
-            .encode("ascii")[: self.PROGRESS_RECORD_BYTES]
-            .ljust(self.PROGRESS_RECORD_BYTES, b" ")
+            .encode("ascii")
         )
+        if len(payload) > self._progress_bytes:
+            raise ReproError(
+                f"progress record for {self.table_name!r} needs "
+                f"{len(payload)} bytes but the statement sized it at "
+                f"{self._progress_bytes}; refusing to truncate the "
+                "resume counter"
+            )
+        payload = payload.ljust(self._progress_bytes, b" ")
         if self._progress_heap is None:
             self._progress_heap = HeapFile(
                 self.db.pool, name=f"__bd_progress_{self.table_name}"

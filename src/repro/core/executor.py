@@ -242,92 +242,227 @@ def _execute(
                 )
 
         if options.lanes == 1:
-            # Strictly serial single-disk execution — the paper's
-            # testbed.  This path is the original executor, untouched,
-            # so its simulated times stay bit-identical across builds.
-
-            # --- unique indexes before the table (RID probes) ---------
-            for step in plan.steps_before_table():
-                if step.target == plan.driving_index:
-                    continue
-                index = table.index(step.target)
-                with maybe_span(
-                    obs,
-                    f"bd[hash/rid] {step.target}",
-                    kind="bd",
-                    target=step.target,
-                ) as span:
-                    rid_set = BoundedHashSet(db.memory_bytes).build(
-                        rid_list
-                    )
-                    step_result = bd_index_hash_probe(
-                        index.tree, rid_set, db.disk,
-                        compact=options.compact_leaves,
-                    )
-                    _note_bd(span, step_result)
-                result.step_results.append(step_result)
-
-            # --- the base table ----------------------------------------
-            table_step = plan.table_step()
-            with maybe_span(
-                obs,
-                f"bd[{table_step.method.value}/rid] {plan.table_name}",
-                kind="bd",
-                target=plan.table_name,
-            ) as span:
-                if table_step.method is BdMethod.HASH:
-                    rid_set = BoundedHashSet(db.memory_bytes).build(
-                        rid_list
-                    )
-                    rows, table_result = bd_heap_hash_probe(
-                        table, rid_set, db.disk
-                    )
-                else:
-                    rids = [RID.unpack(r) for r in rid_list]
-                    rows, table_result = bd_heap_sorted_rids(
-                        table, rids, db.disk, compact=options.compact_leaves
-                    )
-                _note_bd(span, table_result)
-                span.set(records_deleted=len(rows))
-            result.step_results.append(table_result)
-            result.records_deleted = len(rows)
-
-            # --- remaining indexes, fed by projections of deleted rows
-            for step in plan.steps_after_table():
-                index = table.index(step.target)
-                with maybe_span(
-                    obs,
-                    f"bd[{step.method.value}/{step.predicate.value}] "
-                    f"{step.target}",
-                    kind="bd",
-                    target=step.target,
-                ) as span:
-                    step_result = _run_index_step(
-                        db, table, index, step, rows, rid_list, options
-                    )
-                    _note_bd(span, step_result)
-                result.step_results.append(step_result)
-
-            # --- non-B-tree indexes: "updated in the traditional way"
-            for index in table.hash_indexes():
-                with maybe_span(
-                    obs,
-                    f"hash-index {index.name}",
-                    kind="bd",
-                    target=index.name,
-                ) as span:
-                    hash_result = BdResult(structure=index.name)
-                    for rid, values in rows:
-                        key = index.key_for(values, table.schema)
-                        if index.hash_index.delete(key, rid.pack()):
-                            hash_result.deleted.append((key, rid.pack()))
-                    db.disk.charge_cpu_records(len(rows))
-                    _note_bd(span, hash_result)
-                result.step_results.append(hash_result)
+            rows = _serial_branches(
+                db, table, plan, rid_list, options, result
+            )
         else:
             rows = _execute_parallel(
                 db, table, plan, rid_list, options, result
             )
+
+        if options.reclaim_heap_pages:
+            with maybe_span(
+                obs,
+                f"reclaim({plan.table_name})",
+                kind="maintenance",
+                target=plan.table_name,
+            ) as span:
+                result.heap_pages_reclaimed = (
+                    table.heap.reclaim_empty_pages()
+                )
+                span.set(pages_reclaimed=result.heap_pages_reclaimed)
+        if options.flush_at_end:
+            with maybe_span(obs, "flush", kind="flush"):
+                db.flush()
+        root.set(records_deleted=result.records_deleted)
+    result.elapsed_ms = db.clock.now_ms - start_ms
+    result.io = db.disk.stats.delta_since(io_before)
+    result.trace = getattr(root, "span", None)
+    return result
+
+
+def _serial_branches(
+    db: Database,
+    table: TableInfo,
+    plan: BulkDeletePlan,
+    rid_list: List[int],
+    options: BulkDeleteOptions,
+    result: BulkDeleteResult,
+) -> List[Row]:
+    """Strictly serial single-disk execution of every plan branch after
+    the RID-list barrier — the paper's testbed.  This is the original
+    executor body, untouched, so its simulated times stay bit-identical
+    across builds.
+    """
+    obs = db.obs
+
+    # --- unique indexes before the table (RID probes) ---------
+    for step in plan.steps_before_table():
+        if step.target == plan.driving_index:
+            continue
+        index = table.index(step.target)
+        with maybe_span(
+            obs,
+            f"bd[hash/rid] {step.target}",
+            kind="bd",
+            target=step.target,
+        ) as span:
+            rid_set = BoundedHashSet(db.memory_bytes).build(
+                rid_list
+            )
+            step_result = bd_index_hash_probe(
+                index.tree, rid_set, db.disk,
+                compact=options.compact_leaves,
+            )
+            _note_bd(span, step_result)
+        result.step_results.append(step_result)
+
+    # --- the base table ----------------------------------------
+    table_step = plan.table_step()
+    with maybe_span(
+        obs,
+        f"bd[{table_step.method.value}/rid] {plan.table_name}",
+        kind="bd",
+        target=plan.table_name,
+    ) as span:
+        if table_step.method is BdMethod.HASH:
+            rid_set = BoundedHashSet(db.memory_bytes).build(
+                rid_list
+            )
+            rows, table_result = bd_heap_hash_probe(
+                table, rid_set, db.disk
+            )
+        else:
+            rids = [RID.unpack(r) for r in rid_list]
+            rows, table_result = bd_heap_sorted_rids(
+                table, rids, db.disk, compact=options.compact_leaves
+            )
+        _note_bd(span, table_result)
+        span.set(records_deleted=len(rows))
+    result.step_results.append(table_result)
+    result.records_deleted = len(rows)
+
+    # --- remaining indexes, fed by projections of deleted rows
+    for step in plan.steps_after_table():
+        index = table.index(step.target)
+        with maybe_span(
+            obs,
+            f"bd[{step.method.value}/{step.predicate.value}] "
+            f"{step.target}",
+            kind="bd",
+            target=step.target,
+        ) as span:
+            step_result = _run_index_step(
+                db, table, index, step, rows, rid_list, options
+            )
+            _note_bd(span, step_result)
+        result.step_results.append(step_result)
+
+    # --- non-B-tree indexes: "updated in the traditional way"
+    for index in table.hash_indexes():
+        with maybe_span(
+            obs,
+            f"hash-index {index.name}",
+            kind="bd",
+            target=index.name,
+        ) as span:
+            hash_result = BdResult(structure=index.name)
+            for rid, values in rows:
+                key = index.key_for(values, table.schema)
+                if index.hash_index.delete(key, rid.pack()):
+                    hash_result.deleted.append((key, rid.pack()))
+            db.disk.charge_cpu_records(len(rows))
+            _note_bd(span, hash_result)
+        result.step_results.append(hash_result)
+    return rows
+
+
+def execute_fragment(
+    db: Database,
+    plan: BulkDeletePlan,
+    keys: Sequence[int],
+    options: Optional[BulkDeleteOptions] = None,
+    validate: bool = True,
+) -> BulkDeleteResult:
+    """Serial-only twin of :func:`execute_plan` for lane tasks.
+
+    Sharded execution (:mod:`repro.shard.executor`) runs whole
+    shard-local statements *as* lane tasks.  A task that could open a
+    nested parallel region would re-enter the lane scheduler — and
+    reach its clock repositioning and the coordinator's catalog
+    mutations — mid-region, so this entry point structurally cannot:
+    it rejects ``lanes != 1`` and never calls ``_execute_parallel``,
+    which is what lets the static lane-safety analysis vouch for the
+    fragment tasks.  The execution sequence is the exact serial path
+    of :func:`execute_plan` (same helpers, same order, bit-identical
+    simulated times).
+    """
+    options = options or BulkDeleteOptions()
+    if options.lanes != 1:
+        raise PlanningError(
+            "execute_fragment is the serial-only executor; fragment "
+            f"options request lanes={options.lanes}"
+        )
+    if options.media is None:
+        return _execute_fragment(db, plan, keys, options, validate)
+    db.pool.media = options.media
+    try:
+        return _execute_fragment(db, plan, keys, options, validate)
+    finally:
+        db.pool.media = None
+
+
+def _execute_fragment(
+    db: Database,
+    plan: BulkDeletePlan,
+    keys: Sequence[int],
+    options: BulkDeleteOptions,
+    validate: bool,
+) -> BulkDeleteResult:
+    # Twin of _execute with the parallel branch cut out; keep the two
+    # shells in step.
+    table = db.table(plan.table_name)
+    if plan.table_step().method is BdMethod.NESTED_LOOPS:
+        raise PlanningError(
+            "horizontal plans are executed by repro.core.traditional; "
+            "use bulk_delete() for automatic dispatch"
+        )
+    if validate:
+        validate_plan(db, plan)
+    start_ms = db.clock.now_ms
+    io_before = db.disk.stats.snapshot()
+    result = BulkDeleteResult(plan=plan)
+    obs = db.obs
+
+    with maybe_span(
+        obs,
+        f"bulk-delete {plan.table_name}",
+        kind="delete",
+        target=plan.table_name,
+        n_keys=len(keys),
+    ) as root:
+        with maybe_span(
+            obs, "sort(delete keys)", kind="sort", target="D"
+        ) as sort_span:
+            sorter = ExternalSorter(db.disk, db.memory_bytes, width=1)
+            sorted_keys = [k for (k,) in sorter.sort((k,) for k in keys)]
+            sort_span.set(
+                tuples=sorter.stats.input_tuples,
+                runs=sorter.stats.runs,
+                spilled=sorter.stats.spilled,
+            )
+
+        rid_list, driving_result = _produce_rid_list(
+            db, table, plan, sorted_keys, options
+        )
+        if driving_result is not None:
+            result.step_results.append(driving_result)
+
+        if plan.sort_rid_list:
+            with maybe_span(
+                obs, "sort(RID)", kind="sort", target=plan.table_name
+            ) as sort_span:
+                rid_sorter = ExternalSorter(db.disk, db.memory_bytes, width=1)
+                rid_list = [
+                    r for (r,) in rid_sorter.sort((r,) for r in rid_list)
+                ]
+                sort_span.set(
+                    tuples=rid_sorter.stats.input_tuples,
+                    runs=rid_sorter.stats.runs,
+                    spilled=rid_sorter.stats.spilled,
+                )
+
+        _serial_branches(db, table, plan, rid_list, options, result)
 
         if options.reclaim_heap_pages:
             with maybe_span(

@@ -21,7 +21,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union, overload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.shard.planning import ShardedDeletePlan
 
 from repro.catalog.catalog import IndexInfo, TableInfo
 from repro.catalog.database import Database
@@ -180,6 +183,44 @@ def makespan_ms(costs: List[float], lanes: int) -> float:
     return max(lane_busy)
 
 
+def estimate_sharded_ms(
+    parallel_costs: Sequence[float],
+    serial_costs: Sequence[float],
+    lanes: int,
+    contention: str = DEDICATED,
+) -> CostBreakdown:
+    """Cost of a range-sharded delete: a lane region plus a serial tail.
+
+    Pure arithmetic over per-fragment costs (each fragment is priced
+    by the core planner against its own shard's statistics — also
+    I/O-free, see ``effect/shard-routing-pure``):
+
+    * ``dedicated`` lanes run the parallel fragments as one region
+      whose cost is the LPT **makespan** (mirroring the scheduler),
+    * ``shared`` lanes forfeit the split entirely: the device
+      serializes the fragments, so the region term is their **sum**,
+    * hot fragments the planner serialized (or split) run after the
+      region, back to back — their costs always add.
+    """
+    parallel = list(parallel_costs)
+    serial = list(serial_costs)
+    if contention == SHARED:
+        region_ms = sum(parallel)
+        detail = (
+            f"{len(parallel)} shard fragments serialized on one "
+            "shared device"
+        )
+    else:
+        region_ms = makespan_ms(parallel, lanes)
+        detail = (
+            f"LPT makespan of {len(parallel)} shard fragments on "
+            f"{lanes} dedicated lanes"
+        )
+    if serial:
+        detail += f" + {len(serial)} serialized hot fragment(s)"
+    return CostBreakdown("sharded", region_ms + sum(serial), detail)
+
+
 def estimate_vertical_parallel_ms(
     db: Database,
     table: TableInfo,
@@ -241,6 +282,34 @@ def rid_hash_fits(db: Database, n_deletes: int) -> bool:
     return n_deletes * BYTES_PER_SET_ENTRY <= db.memory_bytes
 
 
+@overload
+def choose_plan(
+    db: Database,
+    table_name: str,
+    column: str,
+    n_deletes: int,
+    prefer_method: Optional[BdMethod] = ...,
+    force_vertical: bool = ...,
+    lanes: int = ...,
+    contention: str = ...,
+) -> BulkDeletePlan: ...
+
+
+@overload
+def choose_plan(
+    db: Database,
+    table_name: str,
+    column: str,
+    n_deletes: int,
+    prefer_method: Optional[BdMethod] = ...,
+    force_vertical: bool = ...,
+    lanes: int = ...,
+    contention: str = ...,
+    *,
+    shards: Sequence[int],
+) -> "ShardedDeletePlan": ...
+
+
 def choose_plan(
     db: Database,
     table_name: str,
@@ -250,7 +319,8 @@ def choose_plan(
     force_vertical: bool = False,
     lanes: int = 1,
     contention: str = DEDICATED,
-) -> BulkDeletePlan:
+    shards: Optional[Sequence[int]] = None,
+) -> "Union[BulkDeletePlan, ShardedDeletePlan]":
     """Pick order, method and predicate for every structure.
 
     ``prefer_method`` narrows the per-index method choice (e.g. the
@@ -259,8 +329,28 @@ def choose_plan(
     build cannot fit in memory.  ``lanes``/``contention`` cost the
     vertical plan for multi-lane execution (``lanes=1``, the default,
     is the serial paper testbed and leaves every estimate unchanged).
+
+    ``shards`` carries the actual delete list when the target table is
+    range-sharded: planning then routes the keys through the shard map
+    and returns a :class:`~repro.shard.planning.ShardedDeletePlan`
+    (one core plan per shard fragment, hot fragments split or
+    serialized) instead of a single :class:`BulkDeletePlan`.
     """
+    if shards is not None:
+        from repro.shard.planning import choose_sharded_plan
+
+        return choose_sharded_plan(
+            db, table_name, column, shards,
+            lanes=lanes, contention=contention,
+            prefer_method=prefer_method,
+        )
     table = db.table(table_name)
+    if table.is_sharded:
+        raise PlanningError(
+            f"table {table_name} is range-sharded; pass the delete "
+            "list via choose_plan(..., shards=keys) or call "
+            "repro.shard.planning.choose_sharded_plan"
+        )
     if not table.schema.has_column(column):
         raise PlanningError(f"{table_name} has no column {column}")
     driving = _pick_driving_index(table, column)

@@ -167,6 +167,31 @@ class Observer:
         self.metrics.timer("oltp.delete.busy_ms").add_ms(elapsed_ms)
 
     # ------------------------------------------------------------------
+    # sharding hooks (repro.shard)
+    # ------------------------------------------------------------------
+    def on_shard_route(self, table: str, fragments: int, keys: int) -> None:
+        """One delete list was routed through a shard map into
+        per-shard fragments."""
+        m = self.metrics
+        m.counter("shard.route.calls").inc()
+        m.counter("shard.route.fragments").inc(fragments)
+        m.counter("shard.route.keys").inc(keys)
+
+    def on_shard_access(self, table: str, shard_id: int, keys: int) -> None:
+        """``keys`` delete keys landed on one shard (the same bump the
+        hot-range detector's access counters receive)."""
+        self.metrics.counter("shard.accesses").inc(keys)
+
+    def on_shard_hot(
+        self, table: str, shard_id: int, policy: Optional[str]
+    ) -> None:
+        """The planner flagged a hot shard fragment and bounded it with
+        ``policy`` (``split`` or ``serialize``)."""
+        self.metrics.counter("shard.hot.detected").inc()
+        if policy is not None:
+            self.metrics.counter(f"shard.hot.{policy}").inc()
+
+    # ------------------------------------------------------------------
     # fault-injection hooks (repro.faults)
     # ------------------------------------------------------------------
     def on_fault_event(self, kind: str) -> None:

@@ -1,0 +1,58 @@
+"""Range-sharded tables: key-range partitioning of heaps and indexes.
+
+The paper's range-partitioned hashing (§2.2) splits one delete into
+independent key ranges so each partition fits in memory; ``repro.shard``
+promotes the same split to the *storage* layer.  A sharded table is a
+logical catalog entry plus one physical table per key range — each with
+its own heap file and indexes — so shard-local bulk deletes touch
+disjoint structures and can run as independent ``LaneTask``s on the
+:mod:`repro.parallel` lane scheduler (genuine data parallelism, not
+just plan-branch parallelism).
+
+Layers:
+
+* :mod:`repro.shard.map` — the pure routing core: a
+  :class:`~repro.shard.map.ShardMap` of strictly increasing range
+  bounds that splits a delete list into per-shard fragments
+  (I/O-free; see ``effect/shard-routing-pure``),
+* :mod:`repro.shard.planning` — :func:`choose_sharded_plan` routes the
+  keys, costs each fragment with the core planner, detects *hot*
+  shards (oversized fragments or skewed access counters) and bounds
+  their lock footprint by splitting or serializing them, and prices
+  the whole shape with
+  :func:`repro.core.planner.estimate_sharded_ms`,
+* :mod:`repro.shard.executor` — :func:`sharded_bulk_delete` runs the
+  fragments as one lane region plus a serial tail, with per-shard
+  rollups that reconcile bit-exactly against the observer's spans,
+* :mod:`repro.shard.faults` — crash-mid-shard sweep coverage: every
+  durable event of a multi-shard recoverable delete is a crash point.
+
+See ``docs/sharding.md`` for the end-to-end walkthrough.
+"""
+
+from repro.shard.executor import (
+    ShardedDeleteResult,
+    sharded_bulk_delete,
+    validate_sharded_plan,
+)
+from repro.shard.faults import ShardSweepScenario, shard_crash_sweep
+from repro.shard.map import ShardMap
+from repro.shard.planning import (
+    HOT_POLICIES,
+    ShardedDeletePlan,
+    ShardFragment,
+    choose_sharded_plan,
+)
+
+__all__ = [
+    "ShardMap",
+    "ShardFragment",
+    "ShardedDeletePlan",
+    "ShardedDeleteResult",
+    "choose_sharded_plan",
+    "sharded_bulk_delete",
+    "validate_sharded_plan",
+    "ShardSweepScenario",
+    "shard_crash_sweep",
+    "HOT_POLICIES",
+]

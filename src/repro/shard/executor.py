@@ -1,0 +1,248 @@
+"""Execution of sharded bulk deletes: one lane region + a serial tail.
+
+Each non-hot fragment becomes one :class:`~repro.parallel.LaneTask`
+running the core executor against its own shard's structures — shards
+share nothing (separate heaps, separate trees), so the fragments are
+independent by construction and the ``shards`` region parallelizes
+them exactly like the core executor parallelizes plan branches.  Hot
+fragments (serialized or split by the planner) run after the region,
+back to back, so the hottest range never competes for lanes while
+holding its locks.
+
+Accounting is reconciled, not trusted: per-task lane time must equal
+the fragment executor's own elapsed time bit-for-bit, the region
+report's invariants must hold, and fragment row counts must sum to the
+statement total (:meth:`ShardedDeleteResult.reconciliation_problems`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.catalog.database import Database
+from repro.core.executor import (
+    BulkDeleteOptions,
+    BulkDeleteResult,
+    execute_fragment,
+)
+from repro.errors import PlanValidationError
+from repro.parallel import DEDICATED, LaneScheduler, LaneTask
+from repro.shard.planning import (
+    ShardedDeletePlan,
+    ShardFragment,
+    choose_sharded_plan,
+)
+from repro.storage.disk import DiskStats
+
+
+@dataclass
+class ShardedDeleteResult:
+    """What one sharded bulk delete did, fragment by fragment."""
+
+    plan: ShardedDeletePlan
+    records_deleted: int = 0
+    #: ``(fragment, result)`` pairs — parallel fragments first (in
+    #: submission order), then the serialized hot fragments.
+    fragment_results: List[Tuple[ShardFragment, BulkDeleteResult]] = field(
+        default_factory=list
+    )
+    #: The ``shards`` lane region, when the statement ran with
+    #: ``lanes > 1`` (``None`` on the serial path).
+    region: Optional[object] = None
+    elapsed_ms: float = 0.0
+    io: Optional[DiskStats] = None
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.elapsed_ms / 1000.0
+
+    def reconciliation_problems(self) -> List[str]:
+        """Cross-checks between rollups — must come back empty.
+
+        * the region report's own invariants (lane accounting,
+          makespan, I/O rollups),
+        * per parallel task: lane busy time == the fragment executor's
+          ``elapsed_ms``, to the last bit,
+        * fragment row counts sum to the statement total.
+        """
+        problems: List[str] = []
+        if self.region is not None:
+            problems.extend(self.region.reconciliation_problems())  # type: ignore[attr-defined]
+            tasks = sorted(
+                self.region.tasks,  # type: ignore[attr-defined]
+                key=lambda t: t.index,
+            )
+            parallel = [
+                (frag, res)
+                for frag, res in self.fragment_results
+                if frag.is_parallel
+            ]
+            for task, (frag, res) in zip(tasks, parallel):
+                if task.busy_ms != res.elapsed_ms:  # lint: allow(float-cost-eq)
+                    problems.append(
+                        f"shard {frag.shard_id}: lane busy "
+                        f"{task.busy_ms!r}ms != fragment elapsed "
+                        f"{res.elapsed_ms!r}ms"
+                    )
+        total = sum(res.records_deleted for _, res in self.fragment_results)
+        if total != self.records_deleted:
+            problems.append(
+                f"fragment rows sum to {total}, statement reports "
+                f"{self.records_deleted}"
+            )
+        return problems
+
+    def summary(self) -> str:
+        lines = [
+            f"deleted {self.records_deleted} records across "
+            f"{len(self.fragment_results)} fragment(s) in "
+            f"{self.elapsed_seconds:.2f}s (simulated)"
+        ]
+        for frag, res in self.fragment_results:
+            mode = "lane" if frag.is_parallel else f"serial/{frag.policy}"
+            lines.append(
+                f"  shard {frag.shard_id} [{mode}]: "
+                f"-{res.records_deleted} records, "
+                f"{res.elapsed_ms / 1000:.2f}s"
+            )
+        return "\n".join(lines)
+
+
+def _make_fragment_task(
+    db: Database,
+    fragment: ShardFragment,
+    options: BulkDeleteOptions,
+):
+    """Build one lane task body: the core executor on one shard.
+
+    The factory-closure shape (the factory call sits directly in the
+    ``LaneTask(run=...)`` argument) keeps the task resolvable by the
+    static lane-safety pass; the fragment's structures are
+    shard-private, so concurrent tasks never touch a shared page.
+    """
+
+    def run() -> BulkDeleteResult:
+        return execute_fragment(
+            db, fragment.plan, fragment.keys,
+            options=options, validate=False,
+        )
+
+    return run
+
+
+def sharded_bulk_delete(
+    db: Database,
+    table_name: str,
+    column: str,
+    keys: Sequence[int],
+    lanes: int = 1,
+    contention: str = DEDICATED,
+    options: Optional[BulkDeleteOptions] = None,
+    plan: Optional[ShardedDeletePlan] = None,
+    hot_factor: float = 4.0,
+    lane_seed: int = 0,
+    validate: bool = True,
+) -> ShardedDeleteResult:
+    """Bulk-delete ``keys`` from a range-sharded table.
+
+    Routes the delete list per shard (via :func:`choose_sharded_plan`,
+    unless a ``plan`` is supplied), then executes: with ``lanes > 1``
+    the non-hot fragments run as one ``shards`` lane region and the
+    hot fragments serially after it; with ``lanes == 1`` every
+    fragment runs back to back on the exact serial code path — with a
+    single shard that is bit-identical to the unsharded executor.
+
+    One flush ends the statement (``options.flush_at_end``); fragments
+    themselves never flush, mirroring how the core executor defers
+    write-back to the end of the statement.
+    """
+    table = db.table(table_name)
+    if plan is None:
+        plan = choose_sharded_plan(
+            db, table_name, column, keys,
+            lanes=lanes, contention=contention, hot_factor=hot_factor,
+        )
+    else:
+        lanes, contention = plan.lanes, plan.contention
+    if validate:
+        validate_sharded_plan(db, plan)
+    obs = db.obs
+    if obs is not None:
+        obs.on_shard_route(  # type: ignore[attr-defined]
+            table_name, fragments=len(plan.fragments), keys=len(keys)
+        )
+    for frag in plan.fragments:
+        table.note_shard_access(frag.shard_id, len(frag.keys))
+        if obs is not None:
+            obs.on_shard_access(  # type: ignore[attr-defined]
+                table_name, frag.shard_id, len(frag.keys)
+            )
+            if frag.hot:
+                obs.on_shard_hot(  # type: ignore[attr-defined]
+                    table_name, frag.shard_id, frag.policy
+                )
+    base = options or BulkDeleteOptions()
+    frag_options = dataclasses.replace(
+        base, flush_at_end=False, lanes=1
+    )
+    start_ms = db.clock.now_ms
+    start_io = db.disk.stats.snapshot()
+    result = ShardedDeleteResult(plan=plan)
+
+    parallel = plan.parallel_fragments()
+    serial: List[ShardFragment] = plan.serial_fragments()
+    if lanes > 1 and parallel:
+        scheduler = LaneScheduler(db.disk, lanes, contention, seed=lane_seed)
+        tasks = [
+            LaneTask(
+                name=f"shard[{frag.shard_id}] {frag.table_name}",
+                run=_make_fragment_task(db, frag, frag_options),
+                estimated_ms=frag.estimated_ms,
+                target=frag.table_name,
+            )
+            for frag in parallel
+        ]
+        region = scheduler.run_region("shards", tasks, obs=obs)
+        result.region = region
+        for frag, res in zip(parallel, region.results()):
+            result.fragment_results.append((frag, res))
+            result.records_deleted += res.records_deleted
+    else:
+        # Serial path: fragments back to back, no scheduler between
+        # the executor and the clock (lanes=1 stays bit-identical).
+        serial = parallel + serial
+    for frag in serial:
+        res = execute_fragment(
+            db, frag.plan, frag.keys, options=frag_options, validate=False
+        )
+        result.fragment_results.append((frag, res))
+        result.records_deleted += res.records_deleted
+    if base.flush_at_end:
+        db.flush()
+    result.elapsed_ms = db.clock.now_ms - start_ms
+    result.io = db.disk.stats.delta_since(start_io)
+    return result
+
+
+def validate_sharded_plan(db: Database, plan: ShardedDeletePlan) -> None:
+    """Reject the plan if the static linter finds ERROR findings.
+
+    Every fragment's core plan is linted with full catalog context,
+    plus the shard-level rules (``plan/shard-coverage``: every delete
+    key routed to exactly one fragment inside its shard's range).
+    """
+    from repro.analysis.findings import errors as error_findings
+    from repro.analysis.plan_lint import lint_sharded_plan
+
+    broken = error_findings(lint_sharded_plan(plan, db))
+    if broken:
+        detail = "; ".join(
+            f"{f.rule_id} @ {f.node}: {f.message}" for f in broken
+        )
+        raise PlanValidationError(
+            f"sharded plan for {plan.table_name} violates "
+            f"{len(broken)} invariant(s): {detail}",
+            findings=broken,
+        )

@@ -1,0 +1,220 @@
+"""Crash-mid-shard sweep: §3.2 recovery, one shard at a time.
+
+A sharded bulk delete that must survive crashes runs as a *sequence*
+of shard-local recoverable statements on one shared WAL — each shard's
+statement begins, sweeps its own structures, and commits before the
+next shard starts, so at most one statement is ever open and a crash
+loses at most one shard's progress.  The sweep turns that claim into a
+checked property, exactly like :mod:`repro.faults.sweep` does for the
+single-table statement:
+
+1. run the whole multi-shard sequence **fault-free** with one counting
+   :class:`~repro.faults.injector.FaultInjector` shared across the
+   statements — ``arm()`` never resets the event log, so durable
+   events are numbered globally across the sweep — capturing the
+   oracle state and the total event count N,
+2. for each chosen k in 1..N, rebuild the identical scenario, crash
+   right after global durable event k (which lands inside some shard's
+   statement), :func:`~repro.recovery.restart.recover`, re-issue the
+   statements that verifiably never started (the client's contract),
+   and require oracle equivalence + internal consistency + terminal
+   recovery.
+
+Scenario builds are deterministic, so global event k always lands on
+the same write of the same shard's statement.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.catalog.database import Database
+from repro.catalog.schema import Attribute, TableSchema
+from repro.errors import ReproError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, SimulatedCrash
+from repro.faults.sweep import (
+    PointOutcome,
+    SweepReport,
+    _choose_points,
+    _diff_states,
+    capture_state,
+    integrity_problems,
+)
+from repro.recovery.restart import RecoverableBulkDelete, recover
+from repro.recovery.wal import WriteAheadLog
+from repro.shard.map import ShardMap
+
+
+@dataclass(frozen=True)
+class ShardSweepScenario:
+    """A deterministic sharded workload: every ``build()`` is
+    bit-identical.
+
+    Table R is range-sharded on its unique driving column A into
+    equi-depth shards; the delete list spreads over every shard, so
+    global durable events cover begin/sweep/commit of several
+    statements and the sweep exercises crashes between shards as well
+    as inside them.
+    """
+
+    records: int = 60
+    delete_fraction: float = 0.4
+    seed: int = 11
+    page_size: int = 512
+    memory_pages: int = 12
+    shards: int = 3
+
+    def build(self) -> "ShardSweepCase":
+        db = Database(
+            page_size=self.page_size,
+            memory_bytes=self.memory_pages * self.page_size,
+        )
+        rng = random.Random(self.seed)
+        n = self.records
+        a_vals = rng.sample(range(10 * n), n)
+        shard_map = ShardMap.from_quantiles("A", a_vals, self.shards)
+        db.create_sharded_table(
+            TableSchema.of(
+                "R", [Attribute.int_("A"), Attribute.char("PAD", 24)]
+            ),
+            "A",
+            shard_map.bounds,
+        )
+        db.load_table("R", [(a, "p") for a in a_vals])
+        db.create_sharded_index("R", "A", unique=True)
+        count = max(1, int(n * self.delete_fraction))
+        keys = sorted(rng.sample(a_vals, count))
+        # The pre-statement image must be durable: a crash at the very
+        # first statement event may not lose any of the build.
+        db.flush()
+        table = db.table("R")
+        statements = [
+            (table.shard(shard_id).name, frag_keys)
+            for shard_id, frag_keys in enumerate(shard_map.route(keys))
+            if frag_keys
+        ]
+        return ShardSweepCase(
+            db=db,
+            log=WriteAheadLog(db.disk),
+            keys=keys,
+            statements=statements,
+        )
+
+
+@dataclass
+class ShardSweepCase:
+    """One built scenario instance."""
+
+    db: Database
+    log: WriteAheadLog
+    keys: List[int]
+    #: The shard-local statement sequence: ``(physical table, keys)``
+    #: per non-empty fragment, in shard order.
+    statements: List[Tuple[str, List[int]]]
+
+
+def shard_crash_sweep(
+    scenario: Optional[ShardSweepScenario] = None,
+    max_points: Optional[int] = None,
+    log_fn: Optional[Callable[[str], None]] = None,
+) -> SweepReport:
+    """Sweep a crash over every (or ``max_points`` evenly spaced)
+    global durable event of the scenario's multi-shard delete."""
+    scenario = scenario or ShardSweepScenario()
+    say = log_fn or (lambda message: None)
+
+    # Pass 0: pre-statement state, oracle state, global event count.
+    case = scenario.build()
+    initial = capture_state(case.db)
+    counter = FaultInjector()
+    for table_name, frag_keys in case.statements:
+        RecoverableBulkDelete(
+            case.db, table_name, "A", frag_keys, case.log, faults=counter
+        ).run()
+    oracle = capture_state(case.db)
+    oracle_problems = integrity_problems(case.db)
+    if oracle_problems:
+        raise ReproError(
+            "fault-free sharded oracle run is already inconsistent: "
+            + "; ".join(oracle_problems)
+        )
+    report = SweepReport(durable_events=counter.durable_event_count)
+    report.points = _choose_points(counter.durable_event_count, max_points)
+    say(
+        f"sharded oracle: {len(case.statements)} shard statements, "
+        f"{counter.durable_event_count} global durable events; "
+        f"sweeping {len(report.points)} crash points"
+    )
+    for k in report.points:
+        outcome = _run_shard_point(scenario, k, initial, oracle)
+        report.outcomes.append(outcome)
+        if not outcome.ok:
+            say(f"  event {k}: FAIL: {outcome.problems[0]}")
+    return report
+
+
+def _run_shard_point(
+    scenario: ShardSweepScenario,
+    event: int,
+    initial: dict,
+    oracle: dict,
+) -> PointOutcome:
+    case = scenario.build()
+    outcome = PointOutcome(event=event, second_event=None)
+    # One injector across the sequence: durable events number globally,
+    # so event k lands on the same write as in the oracle pass.
+    injector = FaultInjector(FaultPlan(crash_after_event=event))
+    crashed_at: Optional[int] = None
+    for i, (table_name, frag_keys) in enumerate(case.statements):
+        try:
+            RecoverableBulkDelete(
+                case.db, table_name, "A", frag_keys, case.log,
+                faults=injector,
+            ).run()
+        except SimulatedCrash as exc:
+            outcome.crash = str(exc)
+            crashed_at = i
+            break
+    if outcome.crash is None or crashed_at is None:
+        outcome.problems.append(
+            f"no crash fired at global durable event {event}"
+        )
+        return outcome
+
+    rec_report = recover(case.db, case.log)
+
+    # The interrupted statement: recovery either finished it, or the
+    # client re-issues it — legitimate only from the pristine
+    # shard-local state (shards share nothing, so the check is local).
+    state = capture_state(case.db)
+    table_name, frag_keys = case.statements[crashed_at]
+    if rec_report.abandoned or not rec_report.resumed:
+        if state.get(table_name) == initial.get(table_name):
+            RecoverableBulkDelete(
+                case.db, table_name, "A", frag_keys, case.log
+            ).run()
+        elif state.get(table_name) != oracle.get(table_name):
+            outcome.problems.append(
+                f"statement on {table_name} neither resumed nor "
+                "pristine after recovery; cannot re-issue"
+            )
+    # Statements after the crashed one never began; the client issues
+    # them as on a fresh run.
+    for next_name, next_keys in case.statements[crashed_at + 1:]:
+        RecoverableBulkDelete(
+            case.db, next_name, "A", next_keys, case.log
+        ).run()
+
+    state = capture_state(case.db)
+    if state != oracle:
+        outcome.problems.append(_diff_states(oracle, state))
+    outcome.problems.extend(integrity_problems(case.db))
+    # Recovery must be terminal: a further restart finds nothing to do.
+    if recover(case.db, case.log).resumed:
+        outcome.problems.append(
+            "recovery is not terminal (a further recover() resumed)"
+        )
+    return outcome

@@ -1,0 +1,120 @@
+"""The shard map: key ranges, routing, and nothing else.
+
+Everything here is pure arithmetic over Python lists — no disk, no
+clock, no catalog.  Routing feeds the planner's estimators, so the
+effect engine holds this module to the same standard as the cost
+formulas (``effect/shard-routing-pure`` in ``docs/static_analysis.md``):
+a routing step that charged simulated I/O would corrupt every sharded
+estimate.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Key-range partitioning of one integer column.
+
+    ``bounds`` holds the strictly increasing interior split points;
+    shard ``i`` covers ``[bounds[i-1], bounds[i])`` with open outer
+    ends, so a key exactly on a bound belongs to the *upper* shard.
+    ``len(bounds) + 1`` shards cover the whole key space and every key
+    routes to exactly one shard — the invariant the
+    ``plan/shard-coverage`` lint re-checks on every sharded plan.
+    """
+
+    column: str
+    bounds: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any(
+            b >= c for b, c in zip(self.bounds, self.bounds[1:])
+        ):
+            raise CatalogError(
+                f"shard bounds must be strictly increasing: {self.bounds}"
+            )
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.bounds) + 1
+
+    def shard_of(self, key: int) -> int:
+        """The unique shard covering ``key``."""
+        return bisect_right(self.bounds, key)
+
+    def range_of(self, shard_id: int) -> Tuple[Optional[int], Optional[int]]:
+        """``(low, high)`` of one shard; ``None`` is an open end."""
+        if not 0 <= shard_id < self.shard_count:
+            raise CatalogError(
+                f"shard {shard_id} out of range (have {self.shard_count})"
+            )
+        low = self.bounds[shard_id - 1] if shard_id > 0 else None
+        high = (
+            self.bounds[shard_id]
+            if shard_id < len(self.bounds)
+            else None
+        )
+        return low, high
+
+    def covers(self, shard_id: int, key: int) -> bool:
+        """Whether ``key`` lies inside shard ``shard_id``'s range."""
+        low, high = self.range_of(shard_id)
+        return (low is None or key >= low) and (high is None or key < high)
+
+    def describe(self, shard_id: int) -> str:
+        low, high = self.range_of(shard_id)
+        lo = "-inf" if low is None else str(low)
+        hi = "+inf" if high is None else str(high)
+        return f"[{lo}, {hi})"
+
+    def route(self, keys: Sequence[int]) -> List[List[int]]:
+        """Split ``keys`` into one fragment per shard.
+
+        Input order is preserved within each fragment, and every key
+        lands in exactly one fragment — with one shard the fragment
+        *is* the input list, which is what makes single-shard
+        execution bit-identical to the unsharded path.
+        """
+        fragments: List[List[int]] = [[] for _ in range(self.shard_count)]
+        for key in keys:
+            fragments[self.shard_of(key)].append(key)
+        return fragments
+
+    @classmethod
+    def from_quantiles(
+        cls, column: str, values: Sequence[int], shards: int
+    ) -> "ShardMap":
+        """Equi-depth bounds from observed column values.
+
+        Picks the ``i * n / shards`` order statistics as interior
+        bounds, so each shard holds roughly the same number of the
+        observed values.  Duplicate order statistics (heavily skewed
+        data) collapse; fewer than ``shards - 1`` distinct bounds is
+        an error because the caller would silently get fewer shards.
+        """
+        if shards < 1:
+            raise CatalogError("need at least one shard")
+        if shards == 1:
+            return cls(column=column, bounds=())
+        ordered = sorted(values)
+        if len(ordered) < shards:
+            raise CatalogError(
+                f"{len(ordered)} values cannot seed {shards} shards"
+            )
+        bounds: List[int] = []
+        for i in range(1, shards):
+            bound = ordered[i * len(ordered) // shards]
+            if not bounds or bound > bounds[-1]:
+                bounds.append(bound)
+        if len(bounds) != shards - 1:
+            raise CatalogError(
+                f"values too skewed for {shards} equi-depth shards "
+                f"(only {len(bounds) + 1} distinct ranges)"
+            )
+        return cls(column=column, bounds=tuple(bounds))

@@ -9,6 +9,8 @@ import math
 
 import pytest
 
+from repro.catalog.database import Database
+from repro.catalog.schema import Attribute, TableSchema
 from repro.core.chunked import ChunkedDelete, chunked_delete
 from repro.core.executor import bulk_delete
 from repro.core.planner import estimate_chunked_ms, estimate_horizontal_ms
@@ -82,6 +84,66 @@ def test_stepwise_interleaving_is_resumable():
     assert steps == math.ceil(len(keys) / 50)
     assert ex.run_chunk() is None
     assert ex.remaining == 0
+
+
+def test_progress_record_never_truncates():
+    """Regression: a long table name plus a large counter used to be
+    silently cut to 32 bytes, corrupting the resume counter.  The
+    record is now sized per statement and round-trips exactly."""
+    name = "a_rather_long_fact_table_name_for_chunked_deletes"
+    assert len(name) > ChunkedDelete.PROGRESS_RECORD_BYTES
+    db = Database(page_size=4096, memory_bytes=64 * 4096)
+    db.create_table(TableSchema.of(
+        name, [Attribute.int_("A"), Attribute.char("PAD", 8)]
+    ))
+    n = 120
+    db.load_table(name, [(i, "p") for i in range(n)])
+    db.create_index(name, "A", unique=True)
+    ex = ChunkedDelete(db, name, "A", list(range(n)), chunk_rows=50)
+    result = ex.run()
+    assert result.records_deleted == n
+    # The durable record holds the full name and the exact counter.
+    stored = ex._progress_heap.read(ex._progress_rid).decode("ascii")
+    assert stored.rstrip(" ") == f"{name}:{n}"
+    assert len(stored) >= len(name) + 1 + ChunkedDelete.PROGRESS_COUNTER_DIGITS
+
+
+def test_progress_record_short_name_keeps_floor_size():
+    """The default floor still applies to short names, so existing
+    workloads pay the same accounting I/O as before."""
+    wl, keys = fresh(120)
+    ex = ChunkedDelete(wl.db, "R", "A", keys, chunk_rows=50)
+    ex.run()
+    stored = ex._progress_heap.read(ex._progress_rid)
+    assert len(stored) == ChunkedDelete.PROGRESS_RECORD_BYTES
+    assert stored.decode("ascii").rstrip(" ") == f"R:{len(keys)}"
+
+
+def test_elapsed_ms_includes_final_flush():
+    """Regression: ``elapsed_ms`` used to end at the last chunk's end,
+    attributing the final ``db.flush()`` of ``run()`` to nothing."""
+    wl, keys = fresh()
+    ex = ChunkedDelete(wl.db, "R", "A", keys, chunk_rows=32)
+    result = ex.run()
+    assert result.flushed_ms is not None
+    assert result.flushed_ms == wl.db.clock.now_ms  # lint: allow(float-cost-eq)
+    chunk_window = result.chunks[-1].end_ms - result.chunks[0].start_ms
+    # The flush dirtied pages, so the accounted window strictly grows.
+    assert result.elapsed_ms > chunk_window
+
+
+def test_elapsed_ms_without_run_flush_is_chunk_window():
+    """Stepping chunks by hand (the traffic driver's mode) leaves the
+    flush to the caller; the window then ends at the last chunk."""
+    wl, keys = fresh(120)
+    ex = ChunkedDelete(wl.db, "R", "A", keys, chunk_rows=50)
+    while ex.run_chunk() is not None:
+        pass
+    result = ex.result
+    assert result.flushed_ms is None
+    assert result.elapsed_ms == (  # lint: allow(float-cost-eq)
+        result.chunks[-1].end_ms - result.chunks[0].start_ms
+    )
 
 
 def test_chunked_validation():

@@ -113,6 +113,54 @@ def test_every_catalogued_oltp_metric_is_emitted():
     )
 
 
+# ----------------------------------------------------------------------
+# metrics catalogue sync: the shard.* family (docs/observability.md)
+# ----------------------------------------------------------------------
+_SHARD_EMIT = re.compile(r'(?:counter|timer)\(\s*f?"(shard\.[^"]+)"')
+
+
+def emitted_shard_metric_names():
+    from repro.shard import HOT_POLICIES
+
+    names = set()
+    for raw in _SHARD_EMIT.findall(OBSERVER_SRC.read_text()):
+        if "{policy}" in raw:
+            names |= {raw.replace("{policy}", p) for p in HOT_POLICIES}
+        else:
+            names.add(raw)
+    return names
+
+
+def documented_shard_metric_names():
+    doc_name = re.compile(r"`(shard\.[a-z_.{},]+)`")
+    names = set()
+    for raw in doc_name.findall(OBS_DOC.read_text()):
+        match = re.fullmatch(r"([a-z_.]+)\{([a-z_,]+)\}", raw)
+        if match:
+            prefix, alts = match.groups()
+            names |= {prefix + alt for alt in alts.split(",")}
+        else:
+            names.add(raw)
+    return names
+
+
+def test_every_emitted_shard_metric_is_catalogued():
+    assert emitted_shard_metric_names(), "observer hooks must emit shard.*"
+    missing = emitted_shard_metric_names() - documented_shard_metric_names()
+    assert not missing, (
+        f"shard metrics with no catalog row in observability.md: "
+        f"{sorted(missing)}"
+    )
+
+
+def test_every_catalogued_shard_metric_is_emitted():
+    phantom = documented_shard_metric_names() - emitted_shard_metric_names()
+    assert not phantom, (
+        f"observability.md catalogues shard metrics the observer never "
+        f"emits: {sorted(phantom)}"
+    )
+
+
 def test_rule_namespaces_are_disjoint():
     # A plan/code/effect prefix states which checker owns the rule;
     # one id must never be registered by two checkers.

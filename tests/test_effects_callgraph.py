@@ -248,8 +248,9 @@ def test_real_tree_shape():
     # count long before anything else noticed.
     assert len(graph.functions) > 700
     assert sum(len(n.calls) for n in graph.functions.values()) > 1200
-    # The executor's two regions (4 factories) + restart's redo region.
-    assert len(graph.lane_dispatches) == 5
+    # The executor's two regions (4 factories) + restart's redo region
+    # + the sharded executor's fragment region.
+    assert len(graph.lane_dispatches) == 6
     assert all(
         d.kind == "factory" and d.entry for d in graph.lane_dispatches
     )

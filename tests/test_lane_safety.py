@@ -194,6 +194,6 @@ def test_real_repo_lane_regions_clean():
     seed_effects(graph, root)
     findings = check_lane_safety(graph)
     assert findings == [], "\n".join(f.render() for f in findings)
-    # And not vacuously: all five dispatch sites resolved to entries.
-    assert len(graph.lane_dispatches) == 5
+    # And not vacuously: all six dispatch sites resolved to entries.
+    assert len(graph.lane_dispatches) == 6
     assert {d.kind for d in graph.lane_dispatches} == {"factory"}
