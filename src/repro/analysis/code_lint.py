@@ -27,7 +27,11 @@ corrupt that determinism — so these are lint rules, not review notes:
 * ``code/media-error-outside-media`` — the typed media-error family
   may only be raised inside ``repro/media/`` and ``repro/storage/``,
   so every media failure flows through the one retry/repair/quarantine
-  policy layer.
+  policy layer,
+* ``code/compaction-outside-lsm`` — ``LsmTree.compact_once`` /
+  ``maybe_compact`` are run-selection internals; outside ``repro/lsm/``
+  compactions are triggered only through the tree's public write and
+  maintenance surface so the FADE policy stays in charge.
 
 A deliberate exception carries a per-line pragma::
 
@@ -97,6 +101,13 @@ CODE_RULES: Dict[str, str] = {
         "failure must surface through the verified read path so "
         "retry/repair/quarantine policy applies uniformly"
     ),
+    "code/compaction-outside-lsm": (
+        "compact_once/maybe_compact hand-pick LSM runs; outside "
+        "repro/lsm/ compaction is reached only through the tree's "
+        "public surface (put/delete/delete_range, flush_memtable, "
+        "compact_all, delete_aware_compactions, lsm_bulk_delete) so "
+        "the FADE picker and its accounting stay authoritative"
+    ),
 }
 
 _WALL_CLOCK_CALLS = {
@@ -123,6 +134,9 @@ _GLOBAL_RANDOM_FUNCS = {
 }
 
 _RAW_IO_ATTRS = {"read_page", "write_page"}
+
+#: LSM compaction internals: callable only inside ``repro/lsm/``.
+_COMPACTION_ATTRS = {"compact_once", "maybe_compact"}
 
 #: The typed media-error family (repro.errors).  CorruptLogError is
 #: deliberately absent: it is a RecoveryError sibling raised by the WAL.
@@ -175,6 +189,9 @@ class _Visitor(ast.NodeVisitor):
     #: inside repro/media/ — with repro/storage/, the sanctioned origin
     #: of the MediaError family
     in_media: bool = False
+    #: inside repro/lsm/ — the one place compaction internals
+    #: (compact_once/maybe_compact) may be called
+    in_lsm: bool = False
     #: names bound by ``from time/datetime/random import X``
     clock_aliases: Set[str] = field(default_factory=set)
     random_aliases: Set[str] = field(default_factory=set)
@@ -220,6 +237,7 @@ class _Visitor(ast.NodeVisitor):
         self._check_random(node, dotted)
         self._check_raw_io(node)
         self._check_clock_rewind(node)
+        self._check_compaction(node)
         self.generic_visit(node)
 
     def _check_wall_clock(
@@ -294,6 +312,24 @@ class _Visitor(ast.NodeVisitor):
                 ".rewind_to() moves simulated time backwards; only the "
                 "lane scheduler (repro/parallel/) may reposition the "
                 "clock, and only between whole lanes of a region",
+            )
+
+    def _check_compaction(self, node: ast.Call) -> None:
+        if self.in_lsm:
+            return
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _COMPACTION_ATTRS
+        ):
+            self._emit(
+                "code/compaction-outside-lsm",
+                node,
+                _dotted(node.func) or node.func.attr,
+                f".{node.func.attr}() hand-picks LSM runs; outside "
+                "repro/lsm/ trigger compaction through the tree's "
+                "public surface (delete_aware_compactions, "
+                "compact_all, or just the write path) so FADE stays "
+                "in charge",
             )
 
     # -- stats mutations ----------------------------------------------
@@ -481,6 +517,7 @@ def lint_source(
     in_faults: bool = False,
     in_parallel: bool = False,
     in_media: bool = False,
+    in_lsm: bool = False,
 ) -> List[Finding]:
     """Lint one module's source text; returns surviving findings."""
     try:
@@ -499,6 +536,7 @@ def lint_source(
     visitor = _Visitor(
         filename=filename, in_storage=in_storage, in_obs=in_obs,
         in_faults=in_faults, in_parallel=in_parallel, in_media=in_media,
+        in_lsm=in_lsm,
     )
     visitor.visit(tree)
     lines = source.splitlines()
@@ -525,6 +563,7 @@ def lint_tree(root: Path) -> List[Finding]:
         in_faults = "faults" in rel.parts[:-1]
         in_parallel = "parallel" in rel.parts[:-1]
         in_media = "media" in rel.parts[:-1]
+        in_lsm = "lsm" in rel.parts[:-1]
         findings.extend(
             lint_source(
                 path.read_text(),
@@ -534,6 +573,7 @@ def lint_tree(root: Path) -> List[Finding]:
                 in_faults=in_faults,
                 in_parallel=in_parallel,
                 in_media=in_media,
+                in_lsm=in_lsm,
             )
         )
     return findings

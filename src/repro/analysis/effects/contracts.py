@@ -152,6 +152,22 @@ EFFECT_RULES: Dict[str, ContractEntry] = {
             ),
         ),
         ContractEntry(
+            rule_id="effect/lsm-compaction-confined",
+            scope="",
+            forbid=frozenset({"lsm.compact"}),
+            exempt=("lsm",),
+            description=(
+                "Compaction scheduling is confined to repro/lsm/: the "
+                "rest of the engine triggers it only through the "
+                "tree's public write and maintenance surface (put/"
+                "delete/delete_range, flush_memtable, compact_all, "
+                "delete_aware_compactions, lsm_bulk_delete), which "
+                "absorb the effect.  Reaching compact_once any other "
+                "way would let operators hand-pick runs and bypass "
+                "the FADE policy and its accounting."
+            ),
+        ),
+        ContractEntry(
             rule_id="effect/no-global-rng",
             scope="",
             forbid=frozenset({"rng"}),

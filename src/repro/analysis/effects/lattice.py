@@ -52,6 +52,7 @@ EFFECTS: FrozenSet[str] = frozenset(
         "metrics.mutate",
         "global.mutate",
         "catalog.mutate",
+        "lsm.compact",
     }
 )
 
@@ -81,6 +82,9 @@ PRIMITIVE_EFFECTS: Dict[str, FrozenSet[str]] = {
     "catalog.catalog.TableInfo.drop_index": frozenset({"catalog.mutate"}),
     "catalog.catalog.IndexInfo.set_offline": frozenset({"catalog.mutate"}),
     "catalog.catalog.IndexInfo.set_online": frozenset({"catalog.mutate"}),
+    # LSM compaction rewrites runs wholesale; scheduling one is an
+    # effect so the contract table can confine it to repro/lsm/.
+    "lsm.tree.LsmTree.compact_once": frozenset({"lsm.compact"}),
 }
 
 #: Sanctioned absorption points: ``qualname suffix -> effects that do
@@ -137,6 +141,20 @@ DEFAULT_BARRIERS: Dict[str, FrozenSet[str]] = {
     # rewind happens only between whole lanes, under the scheduler's
     # reconciliation invariants.
     "parallel.lanes.LaneScheduler.run_region": frozenset({"clock.rewind"}),
+    # The LSM tree's public write/maintenance surface absorbs the
+    # compactions it schedules internally: callers get upsert/delete/
+    # vacuum semantics, never a handle on run selection.  Reaching
+    # compact_once any other way violates effect/lsm-compaction-
+    # confined.
+    "lsm.tree.LsmTree.put": frozenset({"lsm.compact"}),
+    "lsm.tree.LsmTree.delete": frozenset({"lsm.compact"}),
+    "lsm.tree.LsmTree.delete_range": frozenset({"lsm.compact"}),
+    "lsm.tree.LsmTree.flush_memtable": frozenset({"lsm.compact"}),
+    "lsm.tree.LsmTree.compact_all": frozenset({"lsm.compact"}),
+    "lsm.tree.LsmTree.delete_aware_compactions": frozenset(
+        {"lsm.compact"}
+    ),
+    "lsm.engine.lsm_bulk_delete": frozenset({"lsm.compact"}),
 }
 
 _WALL_CLOCK_CALLS = {

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lsm.tree import LsmTree
     from repro.shard.map import ShardMap
 
 from repro.btree.tree import BLinkTree
@@ -156,6 +157,16 @@ class TableInfo:
         #: reads it I/O-free; executors bump it via
         #: :meth:`note_shard_access`.
         self.shard_accesses: Dict[int, int] = {}
+        #: Storage engine backing this table (see
+        #: :mod:`repro.storage.engine`): ``"heap"`` (the default
+        #: heap + B-link path) or ``"lsm"``.
+        self.engine: str = "heap"
+        #: The LSM tree holding this table's rows when
+        #: ``engine == "lsm"`` (its heap then stays empty, like a
+        #: sharded table's logical entry).
+        self.lsm: Optional["LsmTree"] = None
+        #: The INT column LSM rows are keyed by.
+        self.lsm_key_column: Optional[str] = None
 
     @property
     def name(self) -> str:
@@ -163,6 +174,8 @@ class TableInfo:
 
     @property
     def record_count(self) -> int:
+        if self.lsm is not None:
+            return self.lsm.approx_records
         if self.is_sharded:
             return sum(shard.heap.record_count for shard in self.shards)
         return self.heap.record_count
@@ -170,6 +183,10 @@ class TableInfo:
     @property
     def is_sharded(self) -> bool:
         return self.shard_map is not None
+
+    @property
+    def is_lsm(self) -> bool:
+        return self.lsm is not None
 
     def shard(self, shard_id: int) -> "TableInfo":
         try:

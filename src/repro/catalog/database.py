@@ -57,9 +57,53 @@ class Database:
     # ------------------------------------------------------------------
     # DDL
     # ------------------------------------------------------------------
-    def create_table(self, schema: TableSchema) -> TableInfo:
+    def create_table(
+        self,
+        schema: TableSchema,
+        engine: str = "heap",
+        key_column: Optional[str] = None,
+        lsm_config: Optional[object] = None,
+    ) -> TableInfo:
+        """Create a table on the chosen storage engine.
+
+        ``engine="heap"`` (the default) is the paper's heap + B-link
+        path.  ``engine="lsm"`` keys the rows by ``key_column`` (an INT
+        column; defaults to the schema's first column) and stores them
+        in a delete-aware :class:`~repro.lsm.tree.LsmTree`;
+        ``lsm_config`` tunes it.  See ``docs/storage_engines.md``.
+        """
+        from repro.storage.engine import ENGINE_NAMES, HEAP_BTREE, LSM
+
+        if engine not in ENGINE_NAMES:
+            raise CatalogError(
+                f"unknown storage engine {engine!r}; "
+                f"choose from {sorted(ENGINE_NAMES)}"
+            )
+        if engine == HEAP_BTREE and (
+            key_column is not None or lsm_config is not None
+        ):
+            raise CatalogError(
+                "key_column/lsm_config only apply to engine='lsm'"
+            )
         heap = HeapFile(self.pool, name=schema.name)
         table = TableInfo(schema, heap)
+        if engine == LSM:
+            from repro.lsm.tree import LsmConfig, LsmTree
+
+            column = key_column or schema.attributes[0].name
+            if schema.attribute(column).data_type is not DataType.INT:
+                raise CatalogError(
+                    f"LSM key column {column} must be INT"
+                )
+            if lsm_config is not None and not isinstance(
+                lsm_config, LsmConfig
+            ):
+                raise CatalogError("lsm_config must be an LsmConfig")
+            table.engine = LSM
+            table.lsm = LsmTree(
+                self.pool, name=schema.name, config=lsm_config
+            )
+            table.lsm_key_column = column
         self.catalog.add_table(table)
         return table
 
@@ -135,6 +179,8 @@ class Database:
             self.drop_table(shard.name)
         for index in list(table.indexes.values()):
             self._drop_structure(index)
+        if table.lsm is not None:
+            table.lsm.drop()
         table.heap.drop()
 
     @staticmethod
@@ -172,6 +218,12 @@ class Database:
         if build_method not in ("bulk", "insert"):
             raise CatalogError(f"unknown index build method {build_method!r}")
         table = self.catalog.table(table_name)
+        if table.lsm is not None:
+            raise CatalogError(
+                f"table {table_name} is LSM-backed: its runs' fence keys "
+                "already index the key column, and secondary indexes "
+                "are unsupported (see docs/storage_engines.md)"
+            )
         if table.is_sharded:
             raise CatalogError(
                 f"table {table_name} is sharded; use create_sharded_index "
@@ -230,6 +282,11 @@ class Database:
         from repro.hashindex import HashIndex
 
         table = self.catalog.table(table_name)
+        if table.lsm is not None:
+            raise CatalogError(
+                f"table {table_name} is LSM-backed; secondary indexes "
+                "are unsupported (see docs/storage_engines.md)"
+            )
         index_name = name or f"H_{table_name}_{column}"
         if bucket_count is not None:
             hash_index = HashIndex(
@@ -264,14 +321,24 @@ class Database:
     # ------------------------------------------------------------------
     # record-level DML (the horizontal path)
     # ------------------------------------------------------------------
-    def insert(self, table_name: str, values: Sequence[object]) -> RID:
+    def insert(
+        self, table_name: str, values: Sequence[object]
+    ) -> Optional[RID]:
         """Insert one record and maintain every index immediately.
 
         Against a sharded table the row routes to the shard covering
         its shard-column value (routing is pure arithmetic: the only
-        simulated cost is the shard-local insert itself).
+        simulated cost is the shard-local insert itself).  Against an
+        LSM table the row upserts by its key column and the return
+        value is ``None`` — LSM rows have no stable RID.
         """
         table = self.catalog.table(table_name)
+        if table.lsm is not None:
+            assert table.lsm_key_column is not None
+            key = table.key_of(tuple(values), table.lsm_key_column)
+            table.lsm.observer = self.obs
+            table.lsm.put(key, table.serializer.pack(values))
+            return None
         if table.is_sharded:
             assert table.shard_map is not None
             key = table.key_of(tuple(values), table.shard_map.column)
@@ -304,8 +371,20 @@ class Database:
         A sharded table routes each row to its covering shard, then
         appends shard-locally in arrival order — one pure-Python
         partition pass, no extra simulated I/O over the unsharded
-        load of the same rows."""
+        load of the same rows.  An LSM table bulk-loads straight into
+        level-1 runs (no log traffic, one manifest commit)."""
         table = self.catalog.table(table_name)
+        if table.lsm is not None:
+            assert table.lsm_key_column is not None
+            key_column = table.lsm_key_column
+            table.lsm.observer = self.obs
+            return table.lsm.bulk_load(
+                (
+                    table.key_of(tuple(values), key_column),
+                    table.serializer.pack(values),
+                )
+                for values in rows
+            )
         if table.is_sharded:
             assert table.shard_map is not None
             shard_map = table.shard_map
@@ -340,6 +419,11 @@ class Database:
         The heap page is read *cold*: random single-record accesses must
         not flush the index pages the next deletes will need."""
         table = self.catalog.table(table_name)
+        if table.lsm is not None:
+            raise CatalogError(
+                f"table {table_name} is LSM-backed and has no RIDs; "
+                "delete by key via repro.lsm.lsm_bulk_delete"
+            )
         if table.is_sharded:
             raise CatalogError(
                 f"table {table_name} is sharded and a RID does not name "
@@ -358,8 +442,14 @@ class Database:
 
         A sharded table chains its shards in range order; RIDs are
         shard-local (two shards may yield the same RID for different
-        rows)."""
+        rows).  An LSM table yields ``(key, values)`` in key order —
+        the key plays the RID's role."""
         table = self.catalog.table(table_name)
+        if table.lsm is not None:
+            table.lsm.observer = self.obs
+            for key, payload in table.lsm.scan():
+                yield key, table.serializer.unpack(payload)
+            return
         if table.is_sharded:
             for shard in table.shards:
                 for rid, values in self.scan(shard.name):
@@ -394,6 +484,14 @@ class Database:
         from repro.storage.page_formats import SlottedPage
 
         table = self.catalog.table(table_name)
+        if table.lsm is not None:
+            table.lsm.observer = self.obs
+            compactions = table.lsm.compact_all()
+            self.flush()
+            return {
+                "lsm_compactions": compactions,
+                "lsm_data_pages": table.lsm.data_pages,
+            }
         report = {
             "heap_pages_freed": table.heap.reclaim_empty_pages(),
             "heap_pages_compacted": 0,

@@ -309,6 +309,23 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
     from repro.faults import crash_point_sweep
     from repro.faults.sweep import SweepScenario
 
+    if args.lsm:
+        from repro.lsm import LsmSweepScenario, lsm_crash_sweep
+
+        report = lsm_crash_sweep(
+            scenario=dataclasses.replace(
+                LsmSweepScenario(), records=args.records, torn=args.torn,
+            ),
+            max_points=args.max_points,
+            log_fn=print if args.verbose else None,
+        )
+        print(report.summary())
+        if not report.ok:
+            for failure in report.failures:
+                print(f"  {failure}")
+            return 1
+        return 0
+
     if args.shards > 0:
         from repro.shard import ShardSweepScenario, shard_crash_sweep
 
@@ -506,6 +523,209 @@ def _shard_selfcheck() -> int:
 
     status = "ok" if not failures else f"{len(failures)} failure(s)"
     print(f"shard selfcheck: {status}")
+    return 0 if not failures else 1
+
+
+def _cmd_lsm(args: argparse.Namespace) -> int:
+    if args.selfcheck:
+        return _lsm_selfcheck()
+    from repro.catalog.database import Database
+    from repro.catalog.schema import Attribute, TableSchema
+    from repro.core.planner import choose_plan
+    from repro.lsm import LsmConfig, lsm_bulk_delete
+
+    db = Database(page_size=4096, memory_bytes=64 * 4096)
+    db.create_table(
+        TableSchema.of(
+            "R", [Attribute.int_("A"), Attribute.char("PAD", 24)]
+        ),
+        engine="lsm",
+        lsm_config=LsmConfig(memtable_entries=64),
+    )
+    db.load_table(
+        "R", [(a, f"row{a}") for a in range(args.records)]
+    )
+    # Half the delete list is one contiguous block (compiled to a
+    # range tombstone), half is scattered points.
+    n_keys = int(args.records * args.fraction)
+    block = list(range(args.records // 4, args.records // 4 + n_keys // 2))
+    scattered = [
+        k for k in range(0, args.records, 5) if k not in set(block)
+    ][: n_keys - len(block)]
+    keys = block + scattered
+    plan = choose_plan(db, "R", "A", keys)
+    print(plan.explain())
+    result = lsm_bulk_delete(db, "R", "A", keys, plan=plan)
+    tree = db.table("R").lsm
+    assert tree is not None
+    print(
+        f"deleted {result.records_deleted} rows in "
+        f"{result.elapsed_ms / 1000:.2f}s: "
+        f"{result.point_tombstones} point + "
+        f"{result.range_tombstones} range tombstones, "
+        f"{result.flushes} flushes, {result.compactions} compactions "
+        f"({result.tombstones_dropped} tombstones dropped)"
+    )
+    print(
+        f"tree after delete: levels {tree.level_shape()}, "
+        f"{tree.data_pages} data pages, "
+        f"{tree.tombstone_count} live tombstones"
+    )
+    return 0
+
+
+def _lsm_selfcheck() -> int:
+    """Exercise the LSM engine end to end on fixed tiny scenarios."""
+    from repro.catalog.database import Database
+    from repro.catalog.schema import Attribute, TableSchema
+    from repro.core.planner import choose_plan
+    from repro.lsm import (
+        LsmConfig,
+        LsmTree,
+        lsm_bulk_delete,
+    )
+    from repro.lsm.planning import LsmDeletePlan
+
+    failures: List[str] = []
+
+    def check(label: str, ok: bool) -> None:
+        print(f"  {'ok' if ok else 'FAIL'}: {label}")
+        if not ok:
+            failures.append(label)
+
+    def fresh() -> Database:
+        db = Database(page_size=512, memory_bytes=24 * 512)
+        db.create_table(
+            TableSchema.of(
+                "R", [Attribute.int_("A"), Attribute.char("PAD", 20)]
+            ),
+            engine="lsm",
+            lsm_config=LsmConfig(
+                memtable_entries=8, l0_runs=2, run_pages=2,
+                level_runs=2, fanout=2,
+                tombstone_density_trigger=0.2, tombstone_age_seqs=64,
+                max_delete_compactions=4,
+            ),
+        )
+        return db
+
+    def tree_of(db: Database) -> LsmTree:
+        tree = db.table("R").lsm
+        assert tree is not None
+        return tree
+
+    # 1. Inserts through the log path are visible from the memtable,
+    #    across flushes, and survive overwrites (last write wins).
+    db = fresh()
+    model = {}
+    for a in range(40):
+        db.insert("R", (a, f"row{a}"))
+        model[a] = (a, f"row{a}")
+    db.insert("R", (7, "seven"))
+    model[7] = (7, "seven")
+    check(
+        "inserts + overwrite visible across memtable flushes",
+        dict(db.scan("R")) == model
+        and tree_of(db).run_count > 0,
+    )
+
+    # 2. Point and range deletes hide rows exactly, scan == dict model.
+    for a in (3, 11, 39):
+        tree_of(db).delete(a)
+        model.pop(a)
+    tree_of(db).delete_range(20, 29)
+    for a in range(20, 30):
+        model.pop(a, None)
+    check(
+        "point + range tombstones hide exactly the targeted rows",
+        dict(db.scan("R")) == model,
+    )
+
+    # 3. Flush + compaction preserve the visible state and eventually
+    #    drop every tombstone without resurrecting a row.
+    tree = tree_of(db)
+    tree.flush_memtable()
+    tree.compact_all()
+    check(
+        "compact_all drops every tombstone, resurrects nothing",
+        dict(db.scan("R")) == model and tree.tombstone_count == 0,
+    )
+
+    # 4. choose_plan dispatches LSM tables to an exact tombstone plan.
+    db = fresh()
+    db.load_table("R", [(a, f"row{a}") for a in range(64)])
+    keys = list(range(16, 36)) + list(range(40, 64, 2))
+    plan = choose_plan(db, "R", "A", keys)
+    check(
+        "choose_plan returns an exact LsmDeletePlan",
+        isinstance(plan, LsmDeletePlan)
+        and plan.range_tombstones == 1
+        and plan.point_tombstones == 12,
+    )
+
+    # 5. The executed delete reconciles with its plan and the model.
+    result = lsm_bulk_delete(db, "R", "A", keys, plan=plan)
+    survivors = {a: (a, f"row{a}") for a in range(64) if a not in set(keys)}
+    check(
+        "lsm_bulk_delete deletes exactly the targeted live rows",
+        result.records_deleted == len(set(keys))
+        and dict(db.scan("R")) == survivors,
+    )
+    check(
+        "executed tombstone mix matches the plan",
+        result.point_tombstones == plan.point_tombstones
+        and result.range_tombstones == plan.range_tombstones,
+    )
+
+    # 6. FADE ran during the delete and dropped tombstones at depth.
+    check(
+        "FADE compactions fired and dropped tombstones",
+        result.compactions > 0 and result.tombstones_dropped > 0,
+    )
+
+    # 7. Recovery from durable state alone is byte-identical, twice.
+    table = db.table("R")
+    assert table.lsm is not None
+    db.pool.invalidate_all()
+    table.lsm = LsmTree.recover(
+        db.pool, table.lsm.handle, config=table.lsm.config, name="R"
+    )
+    once = dict(db.scan("R"))
+    db.pool.invalidate_all()
+    table.lsm = LsmTree.recover(
+        db.pool, table.lsm.handle, config=table.lsm.config, name="R"
+    )
+    check(
+        "recovery is byte-identical and terminal",
+        once == survivors and dict(db.scan("R")) == survivors,
+    )
+
+    # 8. bulk_load lands the same visible state as the log path.
+    loaded = fresh()
+    loaded.load_table("R", [(a, f"row{a}") for a in range(40)])
+    logged = fresh()
+    for a in range(40):
+        logged.insert("R", (a, f"row{a}"))
+    check(
+        "bulk_load state matches the log-path state",
+        dict(loaded.scan("R")) == dict(logged.scan("R")),
+    )
+    check(
+        "bulk_load is cheaper than the log path",
+        loaded.disk.stats.writes < logged.disk.stats.writes,
+    )
+
+    # 9. vacuum compacts to a tombstone-free tree through the facade.
+    stats = db.vacuum("R")
+    check(
+        "vacuum reports compactions and leaves zero tombstones",
+        "lsm_compactions" in stats
+        and tree_of(db).tombstone_count == 0
+        and dict(db.scan("R")) == survivors,
+    )
+
+    status = "ok" if not failures else f"{len(failures)} failure(s)"
+    print(f"lsm selfcheck: {status}")
     return 0 if not failures else 1
 
 
@@ -820,6 +1040,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "crash after every global durable event of a "
                          "K-shard statement sequence (ignores the "
                          "single-table-only flags)")
+    p_sweep.add_argument("--lsm", action="store_true",
+                         help="sweep the LSM engine instead: crash "
+                         "after every durable event (log appends, run "
+                         "builds, manifest commits, superblock flips) "
+                         "of a tombstone bulk delete and require "
+                         "recovery to an oracle-consistent state with "
+                         "no resurrected rows (--torn tears the "
+                         "crashing write; other single-table flags "
+                         "are ignored)")
     p_sweep.add_argument("--verbose", action="store_true",
                          help="print per-point progress")
     p_sweep.set_defaults(func=_cmd_faultsweep)
@@ -843,6 +1072,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "bit-identity, lane speedup, exact rollup "
                          "reconciliation, hot-range taming")
     p_shard.set_defaults(func=_cmd_shard)
+
+    p_lsm = sub.add_parser(
+        "lsm",
+        help="bulk delete on the delete-aware LSM engine: compile "
+        "tombstones, run FADE compactions, report the tree shape",
+    )
+    p_lsm.add_argument("--records", type=int, default=2000,
+                       help="rows bulk-loaded into the LSM table")
+    p_lsm.add_argument("--fraction", type=float, default=0.15,
+                       help="fraction of records to delete")
+    p_lsm.add_argument("--selfcheck", action="store_true",
+                       help="exercise the engine on fixed tiny "
+                       "scenarios: visibility, tombstone semantics, "
+                       "compaction invariants, planner dispatch, "
+                       "FADE, recovery, bulk load, vacuum")
+    p_lsm.set_defaults(func=_cmd_lsm)
 
     p_media = sub.add_parser(
         "mediasweep",

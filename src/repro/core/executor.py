@@ -919,7 +919,21 @@ def bulk_delete(
     result object is shaped the same either way.  ``validate`` runs the
     static plan linter before execution (mainly a guard for
     caller-supplied plans; planner output lints clean by construction).
+
+    An LSM-backed table dispatches to
+    :func:`repro.lsm.engine.lsm_bulk_delete` (tombstones + FADE
+    compactions) and returns its :class:`~repro.lsm.engine
+    .LsmDeleteResult` instead.
     """
+    table = db.table(table_name)
+    if table.lsm is not None:
+        from repro.lsm.engine import lsm_bulk_delete
+        from repro.lsm.planning import LsmDeletePlan
+
+        lsm_plan = plan if isinstance(plan, LsmDeletePlan) else None
+        return lsm_bulk_delete(  # type: ignore[return-value]
+            db, table_name, column, keys, plan=lsm_plan
+        )
     if plan is None:
         opts = options or BulkDeleteOptions()
         plan = choose_plan(

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Union, overload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lsm.planning import LsmDeletePlan
     from repro.shard.planning import ShardedDeletePlan
 
 from repro.catalog.catalog import IndexInfo, TableInfo
@@ -320,7 +321,7 @@ def choose_plan(
     lanes: int = 1,
     contention: str = DEDICATED,
     shards: Optional[Sequence[int]] = None,
-) -> "Union[BulkDeletePlan, ShardedDeletePlan]":
+) -> "Union[BulkDeletePlan, ShardedDeletePlan, LsmDeletePlan]":
     """Pick order, method and predicate for every structure.
 
     ``prefer_method`` narrows the per-index method choice (e.g. the
@@ -345,6 +346,12 @@ def choose_plan(
             prefer_method=prefer_method,
         )
     table = db.table(table_name)
+    if table.lsm is not None:
+        # The LSM engine has its own (pure-arithmetic) cost model:
+        # tombstone writes + expected flushes + FADE compactions.
+        from repro.lsm.planning import choose_lsm_plan
+
+        return choose_lsm_plan(db, table_name, column, n_deletes)
     if table.is_sharded:
         raise PlanningError(
             f"table {table_name} is range-sharded; pass the delete "

@@ -1,0 +1,125 @@
+"""The LSM write buffer: point entries plus range tombstones.
+
+Every mutation carries a monotonically increasing *sequence number*
+assigned by the tree; resolution anywhere in the LSM (memtable, run,
+or merge) is always "highest sequence wins".  A delete is a *point
+tombstone* (``payload is None``) and a range delete is a
+:class:`RangeTombstone` — both are ordinary entries to the resolution
+rule, which is what makes bulk deletes O(tombstones written) instead
+of O(rows touched) (Lethe's framing; see ``docs/storage_engines.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RangeTombstone:
+    """Deletes every key in ``[lo, hi]`` older than ``seq``."""
+
+    seq: int
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(
+                f"range tombstone [{self.lo}, {self.hi}] is empty"
+            )
+
+    def covers(self, key: int) -> bool:
+        return self.lo <= key <= self.hi
+
+    def masks(self, seq: int, key: int) -> bool:
+        """Whether an entry ``(seq, key)`` is deleted by this tombstone."""
+        return self.seq > seq and self.covers(key)
+
+
+#: A resolution: ``(seq, payload)``; ``payload is None`` means deleted.
+Resolution = Tuple[int, Optional[bytes]]
+
+
+class Memtable:
+    """In-memory buffer of the newest mutations, pre-flush.
+
+    Point entries keep only the newest version per key (the log, not
+    the memtable, is the durability story — see
+    :class:`repro.lsm.tree.LsmTree`).  Range tombstones accumulate as
+    written; they are compared by sequence number at resolution time.
+    """
+
+    def __init__(self) -> None:
+        #: key -> (seq, payload | None-for-tombstone)
+        self.entries: Dict[int, Tuple[int, Optional[bytes]]] = {}
+        self.ranges: List[RangeTombstone] = []
+        #: Highest sequence number buffered (0 when empty); becomes the
+        #: tree's ``flushed_seq`` when this memtable flushes.
+        self.max_seq = 0
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def put(self, seq: int, key: int, payload: bytes) -> None:
+        self.entries[key] = (seq, payload)
+        self.max_seq = max(self.max_seq, seq)
+
+    def delete(self, seq: int, key: int) -> None:
+        self.entries[key] = (seq, None)
+        self.max_seq = max(self.max_seq, seq)
+
+    def delete_range(self, seq: int, lo: int, hi: int) -> None:
+        self.ranges.append(RangeTombstone(seq, lo, hi))
+        self.max_seq = max(self.max_seq, seq)
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve(self, key: int) -> Optional[Resolution]:
+        """Newest buffered fact about ``key``, or ``None`` if unknown.
+
+        A covering range tombstone competes with the point entry by
+        sequence number; a returned ``(seq, None)`` means the memtable
+        *knows* the key is deleted (callers must not fall through to
+        older structures).
+        """
+        best = self.entries.get(key)
+        for tomb in self.ranges:
+            if tomb.covers(key) and (best is None or tomb.seq > best[0]):
+                best = (tomb.seq, None)
+        return best
+
+    # ------------------------------------------------------------------
+    # flush feed
+    # ------------------------------------------------------------------
+    def sorted_items(self) -> List[Tuple[int, int, Optional[bytes]]]:
+        """``(key, seq, payload)`` in key order, for run building."""
+        return [
+            (key, seq, payload)
+            for key, (seq, payload) in sorted(self.entries.items())
+        ]
+
+    def sorted_ranges(self) -> List[RangeTombstone]:
+        return sorted(self.ranges, key=lambda t: (t.lo, t.hi, t.seq))
+
+    @property
+    def entry_count(self) -> int:
+        """Buffered facts (points + ranges): the flush-trigger measure."""
+        return len(self.entries) + len(self.ranges)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.entries and not self.ranges
+
+    @property
+    def approx_live(self) -> int:
+        """Estimated live rows buffered (puts not masked by a range)."""
+        live = 0
+        for key, (seq, payload) in self.entries.items():
+            if payload is None:
+                continue
+            if any(t.masks(seq, key) for t in self.ranges):
+                continue
+            live += 1
+        return live

@@ -1,0 +1,234 @@
+"""Immutable sorted runs (SSTables) on buffer-pool pages.
+
+A run is a sequence of slotted pages holding ``(kind, seq, key,
+payload)`` entries in key order, plus run-level metadata
+(:class:`RunMeta`): fence keys (first key per page, the in-memory
+index that makes a point lookup one page read), the covering key
+range, sequence bounds, and the run's range tombstones.  Metadata is
+durable through the tree's manifest, not through the data pages — the
+classic LSM split between immutable data blocks and a mutable
+manifest.
+
+Every page the builder writes is flushed through the buffer pool
+immediately, so a run is fully durable (and every write is a
+crash-sweep event) before its metadata can reach a manifest commit.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.lsm.memtable import RangeTombstone, Resolution
+from repro.storage.buffer import BufferPool
+from repro.storage.page_formats import SlottedPage
+
+#: On-page entry header: kind (0 = put, 1 = point tombstone), seq, key.
+ENTRY = struct.Struct("<bqq")
+KIND_PUT = 0
+KIND_TOMBSTONE = 1
+
+#: One entry as a flush/merge item: ``(key, seq, payload | None)``.
+Item = Tuple[int, int, Optional[bytes]]
+
+
+def encode_entry(key: int, seq: int, payload: Optional[bytes]) -> bytes:
+    kind = KIND_PUT if payload is not None else KIND_TOMBSTONE
+    return ENTRY.pack(kind, seq, key) + (payload or b"")
+
+
+def decode_entry(record: bytes) -> Item:
+    kind, seq, key = ENTRY.unpack_from(record, 0)
+    payload = record[ENTRY.size:]
+    if kind == KIND_TOMBSTONE:
+        return key, seq, None
+    if kind != KIND_PUT:
+        raise StorageError(f"corrupt run entry kind {kind}")
+    return key, seq, bytes(payload)
+
+
+@dataclass(frozen=True)
+class RunMeta:
+    """Everything the tree knows about one immutable run.
+
+    ``key_min``/``key_max`` bound the run's *responsibility*, not just
+    its resident entries: compaction may assign a run a covering span
+    wider than its first/last key so range tombstones keep masking
+    keys that only exist at deeper levels.  Within a level ≥ 1 the
+    covering spans partition the key space (no overlap), which is what
+    makes the per-level lookup a single binary search.
+    """
+
+    run_id: int
+    level: int
+    page_ids: Tuple[int, ...]
+    #: First key on each page (parallel to ``page_ids``).
+    fences: Tuple[int, ...]
+    key_min: int
+    key_max: int
+    seq_min: int
+    seq_max: int
+    #: Point entries on the pages (puts + point tombstones).
+    entry_count: int
+    #: Point tombstones among ``entry_count``.
+    tombstones: int
+    ranges: Tuple[RangeTombstone, ...]
+    #: Oldest tombstone sequence in the run (points or ranges), or -1
+    #: when the run holds no tombstones — the age input of the FADE
+    #: compaction picker.
+    tombstone_seq_min: int
+
+    @property
+    def data_pages(self) -> int:
+        return len(self.page_ids)
+
+    @property
+    def live_entries(self) -> int:
+        return self.entry_count - self.tombstones
+
+    @property
+    def tombstone_density(self) -> float:
+        """Tombstone facts per point entry (ranges each count once)."""
+        dead = self.tombstones + len(self.ranges)
+        return dead / max(1, self.entry_count)
+
+    def covers(self, key: int) -> bool:
+        return self.key_min <= key <= self.key_max
+
+
+def build_run(
+    pool: BufferPool,
+    file_id: int,
+    run_id: int,
+    level: int,
+    items: Sequence[Item],
+    ranges: Sequence[RangeTombstone] = (),
+    cover_lo: Optional[int] = None,
+    cover_hi: Optional[int] = None,
+) -> RunMeta:
+    """Write ``items`` (key-sorted) as one run and return its metadata.
+
+    Each filled page is flushed before the next is started, so the
+    run's bytes are durable when this returns; the caller makes the run
+    *reachable* with a manifest commit afterwards.  ``cover_lo`` /
+    ``cover_hi`` widen the responsibility span (see :class:`RunMeta`).
+    """
+    page_ids: List[int] = []
+    fences: List[int] = []
+    page: Optional[SlottedPage] = None
+    current_id: Optional[int] = None
+    seqs: List[int] = []
+    tombstones = 0
+    tombstone_seqs: List[int] = []
+
+    def close_page() -> None:
+        assert current_id is not None
+        pool.unpin(current_id, dirty=True)
+        pool.flush_page(current_id)
+
+    last_key: Optional[int] = None
+    for key, seq, payload in items:
+        if last_key is not None and key <= last_key:
+            raise StorageError(
+                f"run builder needs strictly increasing keys "
+                f"({key} after {last_key})"
+            )
+        last_key = key
+        record = encode_entry(key, seq, payload)
+        if page is not None and not page.can_fit(len(record)):
+            close_page()
+            page = None
+        if page is None:
+            pinned = pool.pin_new(file_id)
+            current_id = pinned.page_id
+            page = SlottedPage.format_empty(pinned.data)
+            page_ids.append(current_id)
+            fences.append(key)
+        page.insert(record)
+        seqs.append(seq)
+        if payload is None:
+            tombstones += 1
+            tombstone_seqs.append(seq)
+    if page is not None:
+        close_page()
+
+    for tomb in ranges:
+        seqs.append(tomb.seq)
+        tombstone_seqs.append(tomb.seq)
+
+    if not seqs:
+        raise StorageError("refusing to build an empty run")
+
+    lo_candidates = [fences[0]] if fences else []
+    hi_candidates = [last_key] if last_key is not None else []
+    lo_candidates += [tomb.lo for tomb in ranges]
+    hi_candidates += [tomb.hi for tomb in ranges]
+    key_min = min(lo_candidates)
+    key_max = max(hi_candidates)
+    if cover_lo is not None:
+        key_min = min(key_min, cover_lo)
+    if cover_hi is not None:
+        key_max = max(key_max, cover_hi)
+
+    return RunMeta(
+        run_id=run_id,
+        level=level,
+        page_ids=tuple(page_ids),
+        fences=tuple(fences),
+        key_min=key_min,
+        key_max=key_max,
+        seq_min=min(seqs),
+        seq_max=max(seqs),
+        entry_count=len(items),
+        tombstones=tombstones,
+        ranges=tuple(sorted(ranges, key=lambda t: (t.lo, t.hi, t.seq))),
+        tombstone_seq_min=min(tombstone_seqs) if tombstone_seqs else -1,
+    )
+
+
+def run_get(
+    pool: BufferPool, meta: RunMeta, key: int
+) -> Tuple[Optional[Resolution], int]:
+    """Resolve ``key`` against one run: ``(resolution, pages_read)``.
+
+    The fence index narrows a point lookup to at most one page read;
+    the run's range tombstones compete with the point entry by
+    sequence number, exactly like memtable resolution.
+    """
+    best: Optional[Resolution] = None
+    for tomb in meta.ranges:
+        if tomb.covers(key) and (best is None or tomb.seq > best[0]):
+            best = (tomb.seq, None)
+    pages_read = 0
+    if meta.fences and key >= meta.fences[0]:
+        slot = bisect_right(meta.fences, key) - 1
+        page_id = meta.page_ids[slot]
+        pages_read = 1
+        with pool.pin(page_id) as pinned:
+            page = SlottedPage(pinned.data)
+            scanned = 0
+            for _, record in page.records():
+                scanned += 1
+                entry_key, seq, payload = decode_entry(record)
+                if entry_key == key:
+                    if best is None or seq > best[0]:
+                        best = (seq, payload)
+                    break
+                if entry_key > key:
+                    break
+            pool.disk.charge_cpu_records(scanned)
+    return best, pages_read
+
+
+def run_iter(pool: BufferPool, meta: RunMeta) -> Iterator[Item]:
+    """Yield every point entry of a run in key order (sequential reads)."""
+    for page_id in meta.page_ids:
+        with pool.pin(page_id) as pinned:
+            page = SlottedPage(pinned.data)
+            records = [record for _, record in page.records()]
+        pool.disk.charge_cpu_records(len(records))
+        for record in records:
+            yield decode_entry(record)

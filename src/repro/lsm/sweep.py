@@ -1,0 +1,258 @@
+"""Crash-mid-compaction sweep for the LSM engine.
+
+The LSM durability claim is sharper than the heap path's WAL story:
+*every* buffer-pool page write the tree performs — log appends, run
+builds, manifest pages, superblock flips — is a durable event, and
+cutting the timeline after any one of them must leave a state that
+recovers to something between "delete not yet applied" and "delete
+fully applied", with nothing corrupted, nothing lost, and **no
+tombstoned row ever resurrected**.  The sweep turns that into a
+checked property, mirroring :func:`repro.faults.sweep.crash_sweep`:
+
+1. run the scenario's bulk delete **fault-free** under a counting
+   :class:`~repro.faults.injector.FaultInjector`, capturing the oracle
+   (surviving rows) and the durable event count N,
+2. for each chosen k in 1..N, rebuild the identical scenario, crash
+   right after durable event k (optionally tearing that very write),
+   :meth:`~repro.lsm.tree.LsmTree.recover`, and require:
+
+   * visible rows are exactly the pre-delete rows minus some subset of
+     the delete list — byte-identical payloads, no phantoms, no
+     non-targeted row missing;
+   * re-issuing the same delete (tombstones are idempotent) lands on
+     the oracle state;
+   * a full :meth:`~repro.lsm.tree.LsmTree.compact_all` — which drops
+     every tombstone — still shows the oracle state (deleted rows do
+     not come back when their tombstones are reclaimed);
+   * a second recovery is stable (recovery is terminal).
+
+Scenario builds are deterministic, so event k always lands on the
+same page write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.catalog.database import Database
+from repro.catalog.schema import Attribute, TableSchema
+from repro.errors import ReproError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, SimulatedCrash
+from repro.faults.sweep import PointOutcome, SweepReport, _choose_points
+from repro.lsm.engine import lsm_bulk_delete
+from repro.lsm.tree import LsmConfig, LsmTree
+
+#: Row state: key -> full value tuple (the scan image).
+State = Dict[int, Tuple[object, ...]]
+
+
+@dataclass(frozen=True)
+class LsmSweepScenario:
+    """A deterministic LSM workload: every ``build()`` is bit-identical.
+
+    The config is deliberately tiny (12-entry memtable, 2-page runs,
+    2-run levels) so the bulk delete itself triggers memtable flushes
+    and FADE compactions — the sweep then cuts *inside* run builds,
+    manifest commits and superblock flips, not just between log
+    appends.  The delete list mixes one contiguous block (compiled to
+    a range tombstone) with scattered point keys.
+    """
+
+    records: int = 64
+    #: Rows inserted through the log path after the bulk load, so L0
+    #: runs and a non-empty memtable exist before the delete starts.
+    trickle: int = 20
+    block_start: int = 16
+    block_len: int = 20
+    scattered: int = 12
+    seed: int = 7
+    page_size: int = 512
+    memory_pages: int = 24
+    torn: bool = False
+
+    def config(self) -> LsmConfig:
+        return LsmConfig(
+            memtable_entries=12,
+            l0_runs=2,
+            run_pages=2,
+            level_runs=2,
+            fanout=2,
+            tombstone_density_trigger=0.2,
+            tombstone_age_seqs=64,
+            max_delete_compactions=4,
+        )
+
+    def build(self) -> "LsmSweepCase":
+        db = Database(
+            page_size=self.page_size,
+            memory_bytes=self.memory_pages * self.page_size,
+        )
+        db.create_table(
+            TableSchema.of(
+                "R", [Attribute.int_("A"), Attribute.char("PAD", 20)]
+            ),
+            engine="lsm",
+            lsm_config=self.config(),
+        )
+        n = self.records
+        db.load_table("R", [(a, f"row{a}") for a in range(n)])
+        for i in range(self.trickle):
+            db.insert("R", (n + i, f"late{i}"))
+        block = list(range(self.block_start, self.block_start + self.block_len))
+        # Scattered keys: a fixed stride walk over the tail keys keeps
+        # the build free of RNG state while spreading points across
+        # runs.
+        tail = [
+            k for k in range(self.block_start + self.block_len, n + self.trickle)
+        ]
+        step = max(1, len(tail) // max(1, self.scattered))
+        points = tail[::step][: self.scattered]
+        keys = block + points
+        return LsmSweepCase(db=db, keys=keys)
+
+
+@dataclass
+class LsmSweepCase:
+    """One built scenario instance."""
+
+    db: Database
+    keys: List[int]
+
+    @property
+    def tree(self) -> LsmTree:
+        tree = self.db.table("R").lsm
+        assert tree is not None
+        return tree
+
+    def state(self) -> State:
+        return {key: values for key, values in self.db.scan("R")}
+
+
+def lsm_crash_sweep(
+    scenario: Optional[LsmSweepScenario] = None,
+    max_points: Optional[int] = None,
+    log_fn: Optional[Callable[[str], None]] = None,
+) -> SweepReport:
+    """Sweep a crash over every (or ``max_points`` evenly spaced)
+    durable event of the scenario's LSM bulk delete."""
+    scenario = scenario or LsmSweepScenario()
+    say = log_fn or (lambda message: None)
+
+    # Pass 0: pre-delete image, oracle state, durable event count.
+    case = scenario.build()
+    before = case.state()
+    counter = FaultInjector()
+    with counter.armed(case.db.disk, pool=case.db.pool):
+        lsm_bulk_delete(case.db, "R", "A", case.keys)
+    oracle = case.state()
+    expected = {
+        key: values
+        for key, values in before.items()
+        if key not in set(case.keys)
+    }
+    if oracle != expected:
+        raise ReproError(
+            "fault-free LSM oracle run does not match the set "
+            f"difference: {len(oracle)} rows vs {len(expected)} expected"
+        )
+    report = SweepReport(durable_events=counter.durable_event_count)
+    report.points = _choose_points(counter.durable_event_count, max_points)
+    say(
+        f"lsm oracle: {len(case.keys)} keys deleted, "
+        f"{counter.durable_event_count} durable events; "
+        f"sweeping {len(report.points)} crash points"
+        + (" (torn page writes)" if scenario.torn else "")
+    )
+    for k in report.points:
+        outcome = _run_lsm_point(scenario, k, before, oracle)
+        report.outcomes.append(outcome)
+        if not outcome.ok:
+            say(f"  event {k}: FAIL: {outcome.problems[0]}")
+    return report
+
+
+def _run_lsm_point(
+    scenario: LsmSweepScenario,
+    event: int,
+    before: State,
+    oracle: State,
+) -> PointOutcome:
+    case = scenario.build()
+    outcome = PointOutcome(event=event, second_event=None)
+    targeted = set(case.keys)
+    injector = FaultInjector(
+        FaultPlan(crash_after_event=event, torn_write=scenario.torn)
+    )
+    try:
+        with injector.armed(case.db.disk, pool=case.db.pool):
+            lsm_bulk_delete(case.db, "R", "A", case.keys)
+    except SimulatedCrash as exc:
+        outcome.crash = str(exc)
+    if outcome.crash is None:
+        outcome.problems.append(f"no crash fired at durable event {event}")
+        return outcome
+
+    # Recover from durable state only and re-bind the catalog entry.
+    table = case.db.table("R")
+    assert table.lsm is not None
+    table.lsm = LsmTree.recover(
+        case.db.pool, table.lsm.handle,
+        config=table.lsm.config, name="R",
+    )
+
+    # Invariant 1: the visible state is the pre-delete image minus some
+    # subset of the delete list — nothing corrupted, lost, or invented.
+    state = case.state()
+    for key, values in state.items():
+        if key not in before:
+            outcome.problems.append(
+                f"phantom row {key} appeared after recovery"
+            )
+        elif before[key] != values:
+            outcome.problems.append(
+                f"row {key} corrupted after recovery: "
+                f"{values!r} != {before[key]!r}"
+            )
+    for key in before:
+        if key not in state and key not in targeted:
+            outcome.problems.append(
+                f"non-targeted row {key} lost by the crash"
+            )
+    if outcome.problems:
+        return outcome
+
+    # Invariant 2: re-issuing the delete is idempotent and completes it.
+    lsm_bulk_delete(case.db, "R", "A", case.keys)
+    state = case.state()
+    if state != oracle:
+        outcome.problems.append(
+            f"re-issued delete missed the oracle: {len(state)} rows "
+            f"vs {len(oracle)}"
+        )
+        return outcome
+
+    # Invariant 3: dropping every tombstone must not resurrect rows.
+    case.tree.compact_all()
+    state = case.state()
+    if state != oracle:
+        resurrected = sorted(set(state) - set(oracle))
+        outcome.problems.append(
+            "compaction after recovery changed the visible state"
+            + (f"; resurrected keys {resurrected[:5]}" if resurrected else "")
+        )
+        return outcome
+
+    # Invariant 4: recovery is terminal — a further restart from the
+    # same durable state sees the identical rows.
+    case.db.pool.invalidate_all()
+    table.lsm = LsmTree.recover(
+        case.db.pool, case.tree.handle,
+        config=case.tree.config, name="R",
+    )
+    if case.state() != oracle:
+        outcome.problems.append(
+            "second recovery diverged (recovery is not terminal)"
+        )
+    return outcome

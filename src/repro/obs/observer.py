@@ -192,6 +192,44 @@ class Observer:
             self.metrics.counter(f"shard.hot.{policy}").inc()
 
     # ------------------------------------------------------------------
+    # LSM hooks (repro.lsm)
+    # ------------------------------------------------------------------
+    def on_tombstone_write(self, kind: str) -> None:
+        """One tombstone was logged (``kind`` is ``point`` or
+        ``range``) — the whole write-side cost of an LSM delete."""
+        self.metrics.counter(f"lsm.tombstones.{kind}").inc()
+
+    def on_memtable_flush(self, entries: int, pages: int) -> None:
+        """A full memtable became one level-0 run."""
+        m = self.metrics
+        m.counter("lsm.flushes").inc()
+        m.counter("lsm.flush.entries").inc(entries)
+        m.counter("lsm.flush.pages").inc(pages)
+
+    def on_compaction(
+        self,
+        level: int,
+        pages_read: int,
+        pages_written: int,
+        tombstones_dropped: int,
+    ) -> None:
+        """One compaction (size-triggered or FADE-picked) merged runs."""
+        m = self.metrics
+        m.counter("lsm.compactions").inc()
+        m.counter("lsm.compaction.pages_read").inc(pages_read)
+        m.counter("lsm.compaction.pages_written").inc(pages_written)
+        m.counter("lsm.compaction.tombstones_dropped").inc(
+            tombstones_dropped
+        )
+
+    def on_lsm_lookup(self, runs_probed: int, pages_read: int) -> None:
+        """One point lookup resolved (read amplification feed)."""
+        m = self.metrics
+        m.counter("lsm.lookups").inc()
+        m.counter("lsm.lookup.runs_probed").inc(runs_probed)
+        m.counter("lsm.lookup.pages_read").inc(pages_read)
+
+    # ------------------------------------------------------------------
     # fault-injection hooks (repro.faults)
     # ------------------------------------------------------------------
     def on_fault_event(self, kind: str) -> None:

@@ -1,0 +1,227 @@
+"""Pluggable storage engines: the seam between the catalog and storage.
+
+The paper's evaluation — and every executor grown from it in this
+repository — coupled the catalog directly to one physical layout: a
+slotted-page heap plus B-link trees.  The :class:`StorageEngine`
+protocol makes that layout one *choice* among several: a table declares
+its engine at DDL time (``Database.create_table(schema, engine=...)``)
+and every entry point the planner and executors need — create, insert,
+scan, point lookup, bulk delete, and the statistics feed cost formulas
+read — goes through the seam.
+
+Two engines implement the protocol:
+
+* :class:`HeapBTreeEngine` (``engine="heap"``, the default) is a pure
+  adapter over the pre-existing code paths: ``Database.insert``,
+  ``Database.scan``, the B-link tree probe, and
+  :func:`repro.core.executor.bulk_delete`.  It adds **no** behaviour —
+  the property test ``tests/test_engine_bit_identity.py`` holds it to
+  bit-identical plans, costs, and durable state against calling those
+  functions directly.
+* :class:`repro.lsm.engine.LsmEngine` (``engine="lsm"``) stores rows in
+  a delete-aware log-structured merge tree (memtable + sorted runs,
+  point and range tombstones, leveled compaction) on the *same*
+  :class:`~repro.storage.disk.SimulatedDisk` cost model, so
+  ``fig_lsm_vs_vertical`` can compare the two delete strategies on
+  equal terms.  See ``docs/storage_engines.md``.
+
+The registry is deliberately closed (:data:`ENGINE_NAMES`): an engine
+is a storage contract the planner, observer, and static-analysis
+contracts all know about, not a runtime plug-in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import CatalogError
+from repro.storage.rid import RID
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.catalog.catalog import TableInfo
+    from repro.catalog.database import Database
+
+#: Engine name of the classic slotted-heap + B-link-tree layout.
+HEAP_BTREE = "heap"
+#: Engine name of the delete-aware LSM tree (``repro.lsm``).
+LSM = "lsm"
+#: Every engine the catalog accepts in ``create_table(engine=...)``.
+ENGINE_NAMES: Tuple[str, ...] = (HEAP_BTREE, LSM)
+
+Row = Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class EngineStatistics:
+    """Engine-neutral planner feed: sizes only, never I/O.
+
+    Both engines fill the shared fields from in-memory metadata (heap
+    page counts and tree entry counts on one side, run metadata on the
+    other) so cost estimation stays pure arithmetic — the
+    ``effect/planner-estimates-pure`` contract checks this statically.
+    ``detail`` carries engine-specific shape (e.g. per-level run counts
+    for the LSM tree) for explain output and tests.
+    """
+
+    engine: str
+    table_name: str
+    #: Live logical records (exact for the heap engine; the LSM engine
+    #: reports entries net of tombstones, an upper bound until
+    #: compaction drops superseded versions).
+    logical_records: int
+    #: Pages holding row data (heap pages / memtable-equivalent + run
+    #: pages).
+    data_pages: int
+    #: Auxiliary structures a delete must maintain (indexes / sorted
+    #: runs).
+    structures: int
+    detail: Dict[str, float] = field(default_factory=dict)
+
+
+class StorageEngine(Protocol):
+    """The contract every storage engine implements.
+
+    One instance binds one ``(db, table)`` pair.  Methods mirror the
+    smallest surface the rest of the system needs; richer operations
+    (range tombstones, compaction control) live on the concrete engine.
+    """
+
+    #: Engine name, one of :data:`ENGINE_NAMES`.
+    name: str
+
+    def table(self) -> "TableInfo":
+        """The bound catalog entry."""
+        ...
+
+    def insert(self, values: Sequence[object]) -> Optional[RID]:
+        """Insert one row, maintaining every auxiliary structure.
+
+        Returns the row's RID for RID-addressed engines, ``None`` for
+        key-addressed ones (the LSM tree has no stable row identity).
+        """
+        ...
+
+    def scan(self) -> Iterator[Tuple[object, Row]]:
+        """Yield ``(locator, values)`` for every live row.
+
+        The locator is engine-specific: an :class:`RID` for the heap
+        engine, the integer key for the LSM engine.
+        """
+        ...
+
+    def point_lookup(self, column: str, key: int) -> Optional[Row]:
+        """The row whose ``column`` equals ``key``, or ``None``.
+
+        ``column`` must be servable by the engine (an indexed column on
+        the heap engine, the key column on the LSM engine).
+        """
+        ...
+
+    def bulk_delete(self, column: str, keys: Sequence[int]) -> Any:
+        """Delete every row whose ``column`` is in ``keys``.
+
+        Returns the engine's result object
+        (:class:`repro.core.executor.BulkDeleteResult` or
+        :class:`repro.lsm.engine.LsmDeleteResult`); both expose
+        ``records_deleted`` and ``elapsed_ms``.
+        """
+        ...
+
+    def statistics(self) -> EngineStatistics:
+        """I/O-free size snapshot for the planner."""
+        ...
+
+
+class HeapBTreeEngine:
+    """The classic layout behind the seam — a delegation-only adapter.
+
+    Every method forwards to the exact pre-seam code path with the same
+    arguments, so driving a table through the engine interface is
+    bit-identical (plans, simulated costs, durable bytes) to calling
+    ``Database``/``bulk_delete`` directly.  Anything smarter belongs in
+    those layers, not here: the adapter's only job is to give the heap
+    path the same shape the LSM engine has.
+    """
+
+    name = HEAP_BTREE
+
+    def __init__(self, db: "Database", table_name: str) -> None:
+        self.db = db
+        self.table_name = table_name
+
+    def table(self) -> "TableInfo":
+        return self.db.table(self.table_name)
+
+    def insert(self, values: Sequence[object]) -> Optional[RID]:
+        return self.db.insert(self.table_name, values)
+
+    def scan(self) -> Iterator[Tuple[object, Row]]:
+        return self.db.scan(self.table_name)
+
+    def point_lookup(self, column: str, key: int) -> Optional[Row]:
+        """Probe an index on ``column``, then fetch the row by RID."""
+        table = self.table()
+        candidates = table.indexes_on(column)
+        if not candidates:
+            raise CatalogError(
+                f"point lookup needs an index on {self.table_name}.{column}"
+            )
+        packed = candidates[0].tree.search_one(key)  # type: ignore[union-attr]
+        if packed is None:
+            return None
+        return self.db.read(self.table_name, RID.unpack(packed))
+
+    def bulk_delete(self, column: str, keys: Sequence[int], **kwargs: Any) -> Any:
+        from repro.core.executor import bulk_delete
+
+        return bulk_delete(self.db, self.table_name, column, keys, **kwargs)
+
+    def statistics(self) -> EngineStatistics:
+        from repro.catalog.statistics import collect_table_statistics
+
+        stats = collect_table_statistics(self.table())
+        return EngineStatistics(
+            engine=self.name,
+            table_name=self.table_name,
+            logical_records=stats.record_count,
+            data_pages=stats.heap_pages,
+            structures=len(stats.indexes),
+            detail={
+                "leaf_pages": float(stats.total_leaf_pages()),
+                "btree_indexes": float(len(self.table().btree_indexes())),
+            },
+        )
+
+
+def engine_name_of(table: "TableInfo") -> str:
+    """The engine a catalog entry declared (``heap`` when unset)."""
+    return getattr(table, "engine", HEAP_BTREE)
+
+
+def engine_for(db: "Database", table_name: str) -> StorageEngine:
+    """The :class:`StorageEngine` bound to one table.
+
+    The LSM import is lazy so ``repro.storage`` never depends on
+    ``repro.lsm`` at import time (the layering runs the other way).
+    """
+    table = db.table(table_name)
+    name = engine_name_of(table)
+    if name == LSM:
+        from repro.lsm.engine import LsmEngine
+
+        return LsmEngine(db, table_name)
+    if name == HEAP_BTREE:
+        return HeapBTreeEngine(db, table_name)
+    raise CatalogError(
+        f"table {table_name} declares unknown storage engine {name!r}"
+    )

@@ -161,6 +161,57 @@ def test_every_catalogued_shard_metric_is_emitted():
     )
 
 
+# ----------------------------------------------------------------------
+# metrics catalogue sync: the lsm.* family (docs/observability.md)
+# ----------------------------------------------------------------------
+_LSM_EMIT = re.compile(r'(?:counter|timer)\(\s*f?"(lsm\.[^"]+)"')
+
+# The expansion of ``on_tombstone_write``'s f-string kind.
+_TOMBSTONE_KINDS = ("point", "range")
+
+
+def emitted_lsm_metric_names():
+    names = set()
+    for raw in _LSM_EMIT.findall(OBSERVER_SRC.read_text()):
+        if "{kind}" in raw:
+            names |= {
+                raw.replace("{kind}", k) for k in _TOMBSTONE_KINDS
+            }
+        else:
+            names.add(raw)
+    return names
+
+
+def documented_lsm_metric_names():
+    doc_name = re.compile(r"`(lsm\.[a-z_.{},]+)`")
+    names = set()
+    for raw in doc_name.findall(OBS_DOC.read_text()):
+        match = re.fullmatch(r"([a-z_.]+)\{([a-z_,]+)\}", raw)
+        if match:
+            prefix, alts = match.groups()
+            names |= {prefix + alt for alt in alts.split(",")}
+        else:
+            names.add(raw)
+    return names
+
+
+def test_every_emitted_lsm_metric_is_catalogued():
+    assert emitted_lsm_metric_names(), "observer hooks must emit lsm.*"
+    missing = emitted_lsm_metric_names() - documented_lsm_metric_names()
+    assert not missing, (
+        f"lsm metrics with no catalog row in observability.md: "
+        f"{sorted(missing)}"
+    )
+
+
+def test_every_catalogued_lsm_metric_is_emitted():
+    phantom = documented_lsm_metric_names() - emitted_lsm_metric_names()
+    assert not phantom, (
+        f"observability.md catalogues lsm metrics the observer never "
+        f"emits: {sorted(phantom)}"
+    )
+
+
 def test_rule_namespaces_are_disjoint():
     # A plan/code/effect prefix states which checker owns the rule;
     # one id must never be registered by two checkers.

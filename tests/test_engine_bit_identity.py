@@ -1,0 +1,148 @@
+"""The heap engine adapter adds nothing: bit-identity property tests.
+
+:class:`repro.storage.engine.HeapBTreeEngine` is a delegation-only
+adapter — driving a table through the engine seam must be
+*bit-identical* to calling ``Database``/``bulk_delete`` directly.
+Hypothesis builds two identical databases, drives one directly and one
+through the seam, and compares everything observable: the chosen plan,
+the simulated clock, every disk counter, the result rollups, and the
+durable page bytes themselves.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Attribute, Database, TableSchema, bulk_delete
+from repro.core.planner import choose_plan
+from repro.errors import CatalogError
+from repro.storage.engine import (
+    ENGINE_NAMES,
+    HeapBTreeEngine,
+    engine_for,
+    engine_name_of,
+)
+
+
+def build_db(rows):
+    db = Database(page_size=512, memory_bytes=64 * 1024)
+    db.create_table(TableSchema.of(
+        "t", [Attribute.int_("k"), Attribute.int_("v")]
+    ))
+    db.load_table("t", rows)
+    db.create_index("t", "k", unique=True)
+    return db
+
+
+def durable_image(db):
+    """Every live durable page's bytes, after a full flush."""
+    db.flush()
+    disk = db.disk
+    return {
+        page_id: disk._pages[page_id]
+        for page_id in disk._pages
+        if disk.page_exists(page_id)
+    }
+
+
+row_strategy = st.dictionaries(
+    st.integers(min_value=0, max_value=400),
+    st.integers(min_value=0, max_value=50),
+    min_size=1,
+    max_size=100,
+)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    rows=row_strategy,
+    victims=st.lists(
+        st.integers(min_value=0, max_value=500), max_size=50
+    ),
+    extra=st.tuples(
+        st.integers(min_value=1000, max_value=2000),
+        st.integers(min_value=0, max_value=50),
+    ),
+)
+def test_heap_engine_is_bit_identical(rows, victims, extra):
+    """Insert + plan + bulk delete via the seam == calling directly."""
+    items = sorted(rows.items())
+
+    direct = build_db(items)
+    seamed = build_db(items)
+    engine = engine_for(seamed, "t")
+    assert isinstance(engine, HeapBTreeEngine)
+
+    # Insert: same RID comes back, byte-identical state.
+    rid_direct = direct.insert("t", extra)
+    rid_seamed = engine.insert(extra)
+    assert rid_direct == rid_seamed
+
+    # Planning: the seam changes nothing the planner sees.
+    plan_direct = choose_plan(direct, "t", "k", len(set(victims)))
+    plan_seamed = choose_plan(seamed, "t", "k", len(set(victims)))
+    assert plan_direct.explain() == plan_seamed.explain()
+
+    # Execution: same rollups, same simulated clock, same counters.
+    result_direct = bulk_delete(direct, "t", "k", victims)
+    result_seamed = engine.bulk_delete("k", victims)
+    assert result_direct.records_deleted == result_seamed.records_deleted
+    assert result_direct.elapsed_ms == result_seamed.elapsed_ms  # lint: allow(float-cost-eq)
+    assert direct.clock.now_ms == seamed.clock.now_ms  # lint: allow(float-cost-eq)
+    for name in vars(direct.disk.stats):
+        assert getattr(direct.disk.stats, name) == getattr(
+            seamed.disk.stats, name
+        ), name
+
+    # Visibility: identical scans through both surfaces.
+    assert list(direct.scan("t")) == list(engine.scan())
+
+    # Durability: the page images are the same bytes.
+    assert durable_image(direct) == durable_image(seamed)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=row_strategy, probe=st.integers(min_value=0, max_value=500))
+def test_heap_engine_point_lookup_matches_scan(rows, probe):
+    db = build_db(sorted(rows.items()))
+    engine = engine_for(db, "t")
+    expected = next(
+        (row for _, row in db.scan("t") if row[0] == probe), None
+    )
+    assert engine.point_lookup("k", probe) == expected
+
+
+def test_heap_engine_statistics_are_pure_sizes():
+    db = build_db([(k, k % 7) for k in range(100)])
+    stats_before = db.disk.stats.snapshot()
+    stats = engine_for(db, "t").statistics()
+    assert stats.engine == "heap"
+    assert stats.table_name == "t"
+    assert stats.logical_records == 100
+    assert stats.data_pages > 0
+    assert stats.structures == 1
+    # Collecting statistics is arithmetic over the catalog: no I/O.
+    assert db.disk.stats.reads == stats_before.reads
+    assert db.disk.stats.writes == stats_before.writes
+
+
+def test_engine_registry_is_closed():
+    db = build_db([(1, 1)])
+    table = db.table("t")
+    assert engine_name_of(table) == "heap"
+    assert engine_name_of(table) in ENGINE_NAMES
+    table.engine = "rope-and-pulley"
+    with pytest.raises(CatalogError):
+        engine_for(db, "t")
+
+
+def test_point_lookup_requires_an_index():
+    db = Database(page_size=512, memory_bytes=64 * 1024)
+    db.create_table(TableSchema.of(
+        "t", [Attribute.int_("k"), Attribute.int_("v")]
+    ))
+    db.load_table("t", [(1, 2)])
+    with pytest.raises(CatalogError):
+        engine_for(db, "t").point_lookup("k", 1)
