@@ -1,0 +1,63 @@
+"""Extension bench: the price of *compliant* deletion.
+
+Deleting rows is cheap; deleting them so a forensic read of the medium
+recovers nothing is not.  This benchmark prices the gap on the fixed
+two-policy retention scenario ([docs/retention.md](../docs/retention.md)):
+the bare FK-guarded cascade, the full journaled retention run (WAL
+protocol + full-page writes + the erase pass), and the read-only
+unrecoverability audit.  The premium is the cost of the compliance
+guarantees — crash-resumability and verified erasure — and the audit
+must stay a small, read-only fraction of the run it checks.
+"""
+
+from benchmarks.conftest import emit_report
+from repro.bench.experiments import fig_retention_overhead
+from repro.bench.plots import render_series
+from repro.bench.report import format_table
+
+
+def test_fig_retention_overhead(benchmark, records):
+    series = benchmark.pedantic(
+        fig_retention_overhead,
+        kwargs={"record_count": records},
+        rounds=1,
+        iterations=1,
+    )
+    cascades = series.rows["cascade delete"]
+    runs = series.rows["retention run"]
+    audits = series.rows["audit pass"]
+
+    report = render_series(series)
+    report += "\n" + format_table(
+        "Compliance premium: journaled run + erase vs the bare cascade",
+        "subjects",
+        series.x_values,
+        {
+            "cascade (s)": [r.sim_seconds for r in cascades],
+            "retention (s)": [r.sim_seconds for r in runs],
+            "premium %": [r.extra["premium_pct"] for r in runs],
+            "pages shredded": [r.extra["pages_shredded"] for r in runs],
+            "WAL redacted": [r.extra["wal_redacted"] for r in runs],
+            "audit pages": [a.extra["pages_scanned"] for a in audits],
+        },
+        unit="s",
+    )
+    emit_report("fig_retention_overhead", report)
+
+    for cascade, run, audit in zip(cascades, runs, audits):
+        # Both passes agree on what compliance deletes.
+        assert run.records_deleted == cascade.records_deleted
+        # The guarantees are not free: journaling, full-page writes and
+        # the erase pass cost real (simulated) time and extra writes.
+        assert run.sim_seconds > cascade.sim_seconds
+        assert run.io.writes > cascade.io.writes
+        assert run.extra["pages_shredded"] > 0
+        assert run.extra["wal_redacted"] > 0
+        # The adversary's read is read-only and far cheaper than the
+        # run it checks.
+        assert audit.io.writes == 0
+        assert audit.sim_seconds < run.sim_seconds
+    # The audit's sweep surface grows with the population.
+    assert audits[-1].extra["pages_scanned"] > audits[0].extra[
+        "pages_scanned"
+    ]

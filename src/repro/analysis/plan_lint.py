@@ -37,6 +37,7 @@ from typing import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.retention.policy import RetentionPlan
     from repro.shard.planning import ShardedDeletePlan
 
 from repro.analysis.findings import Finding, Severity
@@ -64,6 +65,9 @@ class PlanContext:
     #: Set by :func:`lint_sharded_plan` for the shard-level pass; the
     #: shard rules no-op when it is ``None`` (plain unsharded lint).
     shard_plan: Optional["ShardedDeletePlan"] = None
+    #: Set by :func:`lint_retention_plan` for the retention-coverage
+    #: pass; the retention rules no-op when it is ``None``.
+    retention_plan: Optional["RetentionPlan"] = None
 
     def index(self, name: str) -> Optional[IndexInfo]:
         if self.table is None or name not in self.table.indexes:
@@ -634,6 +638,109 @@ def lint_sharded_plan(
         plan=anchor, db=db, table=table, shard_plan=shard_plan
     )
     findings.extend(PLAN_RULES["plan/shard-coverage"].check(ctx))
+    order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+    findings.sort(key=lambda f: (order[f.severity], f.rule_id, f.node))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# retention-policy rules (repro.retention)
+# ---------------------------------------------------------------------------
+@plan_rule(
+    "plan/retention-coverage",
+    "every table FK-reachable from a retention policy's root is covered "
+    "by exactly one DAG node, and RESTRICT-guarded tables are never "
+    "touched",
+)
+def _rule_retention_coverage(ctx: PlanContext) -> Iterator[Finding]:
+    retention_plan = ctx.retention_plan
+    if retention_plan is None:
+        return
+    policy = retention_plan.policy.name
+    counts: Dict[str, int] = {}
+    for node in retention_plan.nodes:
+        counts[node.table] = counts.get(node.table, 0) + 1
+    for table_name in retention_plan.reachable:
+        node = f"retention[{policy}] {table_name}"
+        count = counts.get(table_name, 0)
+        if count == 0:
+            yield Finding(
+                "plan/retention-coverage",
+                Severity.ERROR,
+                node,
+                f"table {table_name} is FK-reachable from the policy "
+                "root but no DAG node covers it; its referencing rows "
+                "would survive the erasure",
+            )
+        elif count > 1:
+            yield Finding(
+                "plan/retention-coverage",
+                Severity.ERROR,
+                node,
+                f"{count} DAG nodes target {table_name}; coverage must "
+                "be exactly once (merge the edges into one node)",
+            )
+    reachable = set(retention_plan.reachable)
+    restricted = set(retention_plan.restricted)
+    for plan_node in retention_plan.nodes:
+        node = f"retention[{policy}] {plan_node.table}"
+        if plan_node.table in restricted:
+            yield Finding(
+                "plan/retention-coverage",
+                Severity.ERROR,
+                node,
+                f"node {plan_node.describe()!r} targets RESTRICT-guarded "
+                f"table {plan_node.table}; the constraint forbids "
+                "touching it",
+            )
+        elif plan_node.table not in reachable:
+            yield Finding(
+                "plan/retention-coverage",
+                Severity.ERROR,
+                node,
+                f"node {plan_node.describe()!r} targets a table the "
+                "policy cannot reach over FK edges; the compiler must "
+                "not invent work",
+            )
+
+
+def lint_retention_plan(
+    retention_plan: "RetentionPlan",
+    db: Optional[Database] = None,
+) -> List[Finding]:
+    """Lint a compiled retention plan: each heap delete node's vertical
+    plan, then the policy-level ``plan/retention-coverage`` invariants.
+
+    Node plans go through the full :func:`lint_plan` rule set with
+    catalog context; LSM and SET NULL nodes carry no vertical DAG and
+    are covered by the policy-level pass alone.
+    """
+    findings: List[Finding] = []
+    if db is not None:
+        from repro.core.planner import choose_plan
+
+        for node in retention_plan.nodes:
+            if node.action != "delete" or not node.keys:
+                continue
+            if db.table(node.table).lsm is not None:
+                continue
+            findings.extend(lint_plan(
+                choose_plan(db, node.table, node.column, len(node.keys)),
+                db,
+            ))
+    table: Optional[TableInfo] = None
+    root = retention_plan.policy.table
+    if db is not None and db.catalog.has_table(root):
+        table = db.table(root)
+    anchor = BulkDeletePlan(
+        table_name=root,
+        column=retention_plan.policy.column,
+        driving_index=None,
+    )
+    ctx = PlanContext(
+        plan=anchor, db=db, table=table, retention_plan=retention_plan
+    )
+    findings.extend(PLAN_RULES["plan/retention-coverage"].check(ctx))
     order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
     findings.sort(key=lambda f: (order[f.severity], f.rule_id, f.node))
     return findings

@@ -309,6 +309,130 @@ def fig_scrub_overhead(record_count: int = DEFAULT_RECORDS,
     return series
 
 
+def fig_retention_overhead(record_count: int = DEFAULT_RECORDS,
+                           observe: bool = False) -> Series:
+    """Extension: the price of *compliant* deletion.
+
+    For several subject-population sizes, compare three passes over the
+    same two-policy retention scenario (heap root cascading into heap +
+    LSM children over CASCADE/SET NULL/RESTRICT edges):
+
+    * ``cascade delete`` — the bare FK-guarded bulk delete of the same
+      victims (what the executor alone would do),
+    * ``retention run`` — the full journaled run: WAL protocol,
+      full-page writes, node seals, and the erase pass that shreds
+      freed pages, index slack, spill files and redacts the WAL,
+    * ``audit pass`` — the forensic unrecoverability sweep over live
+      and freed pages, indexes, LSM runs, WAL and images.
+
+    The gap between the first two is the compliance premium; the audit
+    is read-only and must find nothing.  ``extra`` carries the erase
+    and audit counters (pages shredded, WAL records redacted, pages
+    scanned, overhead vs the bare cascade).
+    """
+    from repro.core.executor import bulk_delete
+    from repro.core.integrity import cascade_bulk_delete
+    from repro.retention import (
+        RecoverableRetentionRun,
+        RetentionScenario,
+        audit_erasure,
+    )
+
+    base_users = max(record_count // 250, 16)
+    sizes = sorted({max(base_users // 4, 8),
+                    max(base_users // 2, 12), base_users})
+    series = Series(
+        title="Retention overhead: bare cascade vs journaled run + "
+        "erase vs unrecoverability audit",
+        x_label="subjects",
+        x_values=sizes,
+    )
+    series.rows = {
+        "cascade delete": [], "retention run": [], "audit pass": [],
+    }
+
+    def scenario(n: int) -> RetentionScenario:
+        return RetentionScenario(
+            users=n, victims=max(n // 4, 2), orders_per_user=2,
+            expired_orders=n // 2, memory_pages=48,
+        )
+
+    for n in sizes:
+        # Pass 1: the unguarded equivalent — FK-aware cascade plus the
+        # age expiry, no WAL protocol, no erase, no audit.
+        case = scenario(n).build()
+        base = case.db.clock.now_seconds
+        base_io = case.db.disk.stats.snapshot()
+        result, report = cascade_bulk_delete(
+            case.db, case.registry, "users", "UID", list(case.victims),
+        )
+        deleted = result.records_deleted + sum(
+            r.records_deleted for r in report.cascaded
+        )
+        expiry = bulk_delete(
+            case.db, "orders", "TS",
+            [t for t in case.expired_ts],
+        )
+        deleted += expiry.records_deleted
+        cascade_seconds = case.db.clock.now_seconds - base
+        series.rows["cascade delete"].append(RunResult(
+            approach="cascade delete", fraction=0.0,
+            records_deleted=deleted,
+            sim_seconds=cascade_seconds,
+            scaled_minutes=cascade_seconds / 60.0,
+            io=case.db.disk.stats.delta_since(base_io),
+            wall_seconds=0.0,
+        ))
+
+        # Pass 2 + 3: the compliant run, then the adversary's read.
+        case = scenario(n).build()
+        plans = case.compile()
+        base = case.db.clock.now_seconds
+        base_io = case.db.disk.stats.snapshot()
+        run_report = RecoverableRetentionRun(
+            case.db, plans, case.log, full_page_writes=True,
+        ).run()
+        run_seconds = case.db.clock.now_seconds - base
+        run_io = case.db.disk.stats.delta_since(base_io)
+        series.rows["retention run"].append(RunResult(
+            approach="retention run", fraction=0.0,
+            records_deleted=run_report.records_deleted,
+            sim_seconds=run_seconds,
+            scaled_minutes=run_seconds / 60.0,
+            io=run_io, wall_seconds=0.0,
+            extra={
+                "pages_shredded": float(run_report.erase.pages_shredded),
+                "wal_redacted": float(
+                    run_report.erase.wal_records_redacted
+                ),
+                "premium_pct": 100.0 * run_seconds / cascade_seconds,
+            },
+        ))
+
+        audit_base = case.db.clock.now_seconds
+        audit_base_io = case.db.disk.stats.snapshot()
+        audit = audit_erasure(case.db, case.log, case.witness(plans))
+        if not audit.ok:
+            raise RuntimeError(
+                "audit of a clean retention run found traces: "
+                + audit.summary()
+            )
+        audit_seconds = case.db.clock.now_seconds - audit_base
+        series.rows["audit pass"].append(RunResult(
+            approach="audit pass", fraction=0.0,
+            records_deleted=0,
+            sim_seconds=audit_seconds,
+            scaled_minutes=audit_seconds / 60.0,
+            io=case.db.disk.stats.delta_since(audit_base_io),
+            wall_seconds=0.0,
+            extra={
+                "pages_scanned": float(audit.pages_scanned),
+                "wal_records_scanned": float(audit.wal_records_scanned),
+            },
+        ))
+    return series
+
+
 def fig_oltp_interference(record_count: int = DEFAULT_RECORDS,
                           observe: bool = True) -> Series:
     """Extension: what live OLTP sessions feel while the delete runs.

@@ -303,11 +303,81 @@ def _cmd_oltp(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _sweep_payload(kind: str, report: object) -> dict:
+    """Machine-readable sweep outcome (``faultsweep --format json``)."""
+    import dataclasses
+
+    data = dataclasses.asdict(report)  # type: ignore[call-overload]
+    data["sweep"] = kind
+    data["ok"] = report.ok  # type: ignore[attr-defined]
+    data["failures"] = len(report.failures)  # type: ignore[attr-defined]
+    return data
+
+
+def _emit_sweep(args: argparse.Namespace, kind: str, report: object) -> int:
+    """Print one sweep report in the selected format; exit status."""
+    import json
+
+    if args.format == "json":
+        print(json.dumps(_sweep_payload(kind, report), indent=2))
+        return 0 if report.ok else 1  # type: ignore[attr-defined]
+    print(report.summary())  # type: ignore[attr-defined]
+    if not report.ok:  # type: ignore[attr-defined]
+        for failure in report.failures:  # type: ignore[attr-defined]
+            print(f"  {failure}")
+        return 1
+    return 0
+
+
 def _cmd_faultsweep(args: argparse.Namespace) -> int:
     import dataclasses
 
     from repro.faults import crash_point_sweep
     from repro.faults.sweep import SweepScenario
+
+    verbose = print if args.verbose and args.format != "json" else None
+
+    if args.retention:
+        import json
+
+        from repro.retention import (
+            audit_mutation_checks,
+            retention_media_sweep,
+            retention_sweep,
+        )
+
+        crash_report = retention_sweep(
+            max_points=args.max_points, log_fn=verbose,
+        )
+        media_report = retention_media_sweep(
+            max_points=args.max_points, log_fn=verbose,
+        )
+        mutation_failures = audit_mutation_checks(log_fn=verbose)
+        ok = (
+            crash_report.ok and media_report.ok and not mutation_failures
+        )
+        if args.format == "json":
+            print(json.dumps({
+                "sweep": "retention",
+                "ok": ok,
+                "crash": _sweep_payload("retention-crash", crash_report),
+                "media": _sweep_payload("retention-media", media_report),
+                "mutations": {
+                    "ok": not mutation_failures,
+                    "checks": 4,
+                    "failures": mutation_failures,
+                },
+            }, indent=2))
+            return 0 if ok else 1
+        print("crash pass:  " + crash_report.summary())
+        print("media pass:  " + media_report.summary())
+        print(
+            "mutation pass: 4 planted traces, "
+            f"{len(mutation_failures)} missed"
+        )
+        for failure in mutation_failures:
+            print(f"  FAIL {failure}")
+        return 0 if ok else 1
 
     if args.lsm:
         from repro.lsm import LsmSweepScenario, lsm_crash_sweep
@@ -317,14 +387,9 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
                 LsmSweepScenario(), records=args.records, torn=args.torn,
             ),
             max_points=args.max_points,
-            log_fn=print if args.verbose else None,
+            log_fn=verbose,
         )
-        print(report.summary())
-        if not report.ok:
-            for failure in report.failures:
-                print(f"  {failure}")
-            return 1
-        return 0
+        return _emit_sweep(args, "lsm", report)
 
     if args.shards > 0:
         from repro.shard import ShardSweepScenario, shard_crash_sweep
@@ -335,14 +400,9 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
                 records=args.records, shards=args.shards,
             ),
             max_points=args.max_points,
-            log_fn=print if args.verbose else None,
+            log_fn=verbose,
         )
-        print(report.summary())
-        if not report.ok:
-            for failure in report.failures:
-                print(f"  {failure}")
-            return 1
-        return 0
+        return _emit_sweep(args, "shard", report)
 
     scenario = dataclasses.replace(
         SweepScenario(), records=args.records, lanes=args.lanes,
@@ -354,14 +414,9 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
         double_crash=not args.no_double,
         torn_writes=args.torn,
         wal_tail=args.wal_tail,
-        log_fn=print if args.verbose else None,
+        log_fn=verbose,
     )
-    print(report.summary())
-    if not report.ok:
-        for failure in report.failures:
-            print(f"  {failure}")
-        return 1
-    return 0
+    return _emit_sweep(args, "crash", report)
 
 
 def _cmd_shard(args: argparse.Namespace) -> int:
@@ -862,6 +917,212 @@ def _scrub_selfcheck(scenario) -> int:
     return 0 if not failures else 1
 
 
+def _cmd_retention(args: argparse.Namespace) -> int:
+    from repro.retention import RetentionScenario, audit_erasure
+
+    if args.selfcheck:
+        return _retention_selfcheck()
+
+    scenario = RetentionScenario()
+    case = scenario.build()
+    obs = case.db.observe()
+    plans = case.compile()
+    print("compiled retention DAG (children-first, engine-dispatched):")
+    for plan in plans:
+        print()
+        print(plan.explain())
+
+    from repro.retention.run import RecoverableRetentionRun
+
+    report = RecoverableRetentionRun(
+        case.db, plans, case.log, full_page_writes=True,
+    ).run()
+    print()
+    print(
+        f"run @lsn {report.run_lsn}: {report.nodes} node(s), "
+        f"{report.records_deleted} record(s) deleted, "
+        f"{report.records_nulled} reference(s) nulled"
+    )
+    erase = report.erase
+    print(
+        "erase pass: "
+        f"{erase.heap_pages_compacted} heap page(s) compacted, "
+        f"{erase.btree_pages_scrubbed} B-tree page(s) scrubbed, "
+        f"{erase.lsm_compactions} LSM compaction(s), "
+        f"{erase.pages_shredded} page(s) shredded, "
+        f"{erase.wal_records_redacted} WAL record(s) redacted, "
+        f"{erase.wal_images_replaced} WAL image(s) replaced"
+    )
+
+    audit = audit_erasure(case.db, case.log, case.witness(plans))
+    print(f"audit: {audit.summary()}")
+    for finding in audit.findings[:10]:
+        print(f"  {finding.describe()}")
+
+    print()
+    print("retention.* metrics:")
+    for name, value in obs.metrics.snapshot().items():
+        if name.startswith("retention."):
+            print(f"  {name} = {value}")
+    return 0 if audit.ok else 1
+
+
+def _retention_selfcheck() -> int:
+    """End-to-end retention checks on the fixed two-policy scenario."""
+    import copy
+
+    from repro.analysis.plan_lint import lint_retention_plan
+    from repro.errors import IntegrityViolationError
+    from repro.faults import FaultInjector, FaultPlan, SimulatedCrash
+    from repro.faults.sweep import capture_state
+    from repro.retention import (
+        RecoverableRetentionRun,
+        RetentionPolicy,
+        RetentionScenario,
+        audit_erasure,
+        audit_mutation_checks,
+        compile_policy,
+        recover_retention,
+        retention_integrity_problems,
+        retention_media_sweep,
+        retention_sweep,
+    )
+
+    failures: List[str] = []
+
+    def check(label: str, ok: bool) -> None:
+        print(f"  {'ok' if ok else 'FAIL'}: {label}")
+        if not ok:
+            failures.append(label)
+
+    scenario = RetentionScenario()
+
+    # 1. The compiler is deterministic: two independent builds of the
+    #    same scenario produce byte-identical EXPLAIN text.
+    def explains() -> str:
+        case = scenario.build()
+        return "\n\n".join(plan.explain() for plan in case.compile())
+
+    check("policy compiler is deterministic", explains() == explains())
+
+    # 2. A clean run erases everything: zero-finding audit, internal
+    #    consistency, and a terminal recovery (nothing left to resume).
+    case = scenario.build()
+    plans = case.compile()
+    report = RecoverableRetentionRun(
+        case.db, plans, case.log, full_page_writes=True,
+    ).run()
+    check(
+        "clean run deletes and nulls records",
+        report.records_deleted > 0 and report.records_nulled > 0,
+    )
+    audit = audit_erasure(case.db, case.log, case.witness(plans))
+    check("clean run passes the unrecoverability audit", audit.ok)
+    check(
+        "post-run state is internally consistent",
+        not retention_integrity_problems(
+            case.db, case.registry, case.victims
+        ),
+    )
+    check(
+        "recovery after a complete run is terminal",
+        not recover_retention(case.db, case.log).resumed,
+    )
+    oracle = capture_state(case.db)
+
+    # 3. Resume from a representative mid-run crash point.
+    counter = FaultInjector()
+    probe = scenario.build()
+    RecoverableRetentionRun(
+        probe.db, probe.compile(), probe.log,
+        faults=counter, full_page_writes=True,
+    ).run()
+    midpoint = counter.durable_event_count // 2
+    case = scenario.build()
+    plans = case.compile()
+    crashed = False
+    try:
+        RecoverableRetentionRun(
+            case.db, plans, case.log,
+            faults=FaultInjector(FaultPlan(crash_after_event=midpoint)),
+            full_page_writes=True,
+        ).run()
+    except SimulatedCrash:
+        crashed = True
+    recovery = recover_retention(case.db, case.log, full_page_writes=True)
+    check(
+        "mid-run crash resumes to the oracle state",
+        crashed
+        and recovery.resumed
+        and capture_state(case.db) == oracle,
+    )
+    check(
+        "resumed run passes the audit",
+        audit_erasure(case.db, case.log, case.witness(plans)).ok,
+    )
+
+    # 4. A RESTRICT violation aborts at compile time, pre-durable.
+    case = scenario.build()
+    before = capture_state(case.db)
+    uid_idx = case.db.table("users").schema.column_index("UID")
+    survivor = next(
+        values[uid_idx]
+        for _, values in case.db.scan("users")
+        if values[uid_idx] not in set(case.victims)
+    )
+    restricted = RetentionPolicy(
+        "restricted", "users", "UID", subject_keys=(survivor,),
+    )
+    aborted = False
+    try:
+        compile_policy(case.db, case.registry, restricted)
+    except IntegrityViolationError:
+        aborted = True
+    check(
+        "RESTRICT aborts at compile time with nothing durable",
+        aborted and capture_state(case.db) == before,
+    )
+
+    # 5. The coverage lint: clean plans lint clean; a dropped node is
+    #    a coverage hole the linter must flag.
+    case = scenario.build()
+    plans = case.compile()
+    check(
+        "retention plans lint clean",
+        all(not lint_retention_plan(p, db=case.db) for p in plans),
+    )
+    broken = copy.deepcopy(plans[0])
+    broken.nodes = broken.nodes[1:]
+    check(
+        "lint flags a dropped DAG node",
+        bool(lint_retention_plan(broken, db=case.db)),
+    )
+
+    # 6. The audit is not vacuously green: planted traces are caught.
+    mutation_failures = audit_mutation_checks(scenario)
+    check("audit mutation checks (4 planted traces)",
+          not mutation_failures)
+    for failure in mutation_failures:
+        print(f"    {failure}")
+
+    # 7. Bounded crash + media sweeps (the CI-sized versions of
+    #    `faultsweep --retention`).
+    crash_report = retention_sweep(scenario, max_points=6)
+    check(
+        f"bounded crash sweep ({len(crash_report.points)} points)",
+        crash_report.ok,
+    )
+    media_report = retention_media_sweep(scenario, max_points=4)
+    check(
+        f"bounded media sweep ({len(media_report.pages)} pages)",
+        media_report.ok,
+    )
+
+    status = "ok" if not failures else f"{len(failures)} failure(s)"
+    print(f"retention selfcheck: {status}")
+    return 0 if not failures else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.__main__ import main as analysis_main
 
@@ -1049,8 +1310,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "no resurrected rows (--torn tears the "
                          "crashing write; other single-table flags "
                          "are ignored)")
+    p_sweep.add_argument("--retention", action="store_true",
+                         help="sweep the retention subsystem instead: "
+                         "crash every durable event and transient-fault "
+                         "every durable page of a two-policy cascading "
+                         "erasure run, require recovery to the oracle "
+                         "with a zero-finding unrecoverability audit, "
+                         "and mutation-test the audit itself")
+    p_sweep.add_argument("--format", choices=("text", "json"),
+                         default="text",
+                         help="json emits machine-readable outcomes "
+                         "(point counts, per-point problems) matching "
+                         "`repro lint --format json` conventions")
     p_sweep.add_argument("--verbose", action="store_true",
-                         help="print per-point progress")
+                         help="print per-point progress (text format)")
     p_sweep.set_defaults(func=_cmd_faultsweep)
 
     p_shard = sub.add_parser(
@@ -1115,6 +1388,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="inject known media faults and verify "
                          "detection, healing, and quarantine")
     p_scrub.set_defaults(func=_cmd_scrub)
+
+    p_ret = sub.add_parser(
+        "retention",
+        help="retention/compliance deletion: compile policies into a "
+        "cascading multi-engine delete DAG, run it crash-resumably, "
+        "erase every trace, and audit unrecoverability",
+    )
+    p_ret.add_argument("--selfcheck", action="store_true",
+                       help="verify the subsystem end to end: compiler "
+                       "determinism, clean run + zero-finding audit, "
+                       "mid-run crash resume, RESTRICT abort, coverage "
+                       "lint, audit mutation tests, bounded sweeps")
+    p_ret.set_defaults(func=_cmd_retention)
 
     for lint_name in ("lint", "analysis"):
         p_lint = sub.add_parser(

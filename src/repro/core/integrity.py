@@ -18,14 +18,29 @@ integrity constraint fails."
    undo),
 3. for ``CASCADE`` constraints: bulk-deletes the referencing child rows
    first (recursively — children of children cascade too), then the
-   parent.
+   parent,
+4. for ``SET NULL`` constraints: null-outs the referencing child keys
+   (to :data:`SET_NULL_VALUE` — the fixed-layout INT columns have no
+   NULL, so ``0`` is the reserved orphan marker) before the parent
+   dies, via :class:`~repro.txn.coordinator.UpdateRouter` when one is
+   supplied so mid-delete secondary-index state stays consistent, and
+   via the set-oriented bulk UPDATE executor otherwise.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.catalog.database import Database
 from repro.core.bulk_ops import collect_index_matches
@@ -36,12 +51,25 @@ from repro.core.executor import (
 )
 from repro.errors import CatalogError, IntegrityViolationError, PlanningError
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.bulk_update import BulkUpdateResult
+    from repro.lsm.engine import LsmDeleteResult
+    from repro.txn.coordinator import UpdateRouter
+    from repro.txn.transactions import Transaction
+
+#: The value a SET NULL constraint writes into orphaned child keys.
+#: The engine's fixed-layout INT columns have no NULL representation,
+#: so ``0`` is reserved as the orphan marker; real keys must be
+#: non-zero for SET NULL semantics to be unambiguous.
+SET_NULL_VALUE = 0
+
 
 class OnDelete(enum.Enum):
     """What happens to referencing child rows when a parent row dies."""
 
     RESTRICT = "restrict"
     CASCADE = "cascade"
+    SET_NULL = "set-null"
 
 
 @dataclass(frozen=True)
@@ -119,11 +147,20 @@ class IntegrityReport:
     """What the constraint phase of a guarded bulk delete did."""
 
     checked: List[str] = field(default_factory=list)
-    cascaded: List[BulkDeleteResult] = field(default_factory=list)
+    cascaded: List[Union[BulkDeleteResult, "LsmDeleteResult"]] = field(
+        default_factory=list
+    )
+    #: One ``(constraint description, rows nulled)`` per SET NULL
+    #: constraint that had referencing rows.
+    nulled: List[Tuple[str, int]] = field(default_factory=list)
 
     @property
     def cascade_deleted(self) -> int:
         return sum(r.records_deleted for r in self.cascaded)
+
+    @property
+    def records_nulled(self) -> int:
+        return sum(count for _, count in self.nulled)
 
 
 def _referenced_values(
@@ -147,15 +184,23 @@ def _referenced_values(
     wanted = set(keys)
     column_idx = table.schema.column_index(column)
     collected: Dict[str, Set[int]] = {c: set() for c in others}
-    for _, records in table.heap.scan_pages():
-        db.disk.charge_cpu_records(len(records))
-        for _, payload in records:
-            values = table.serializer.unpack(payload)
-            if values[column_idx] in wanted:
-                for other in others:
-                    collected[other].add(
-                        values[table.schema.column_index(other)]  # type: ignore[arg-type]
-                    )
+
+    def _collect(values: Sequence[object]) -> None:
+        if values[column_idx] in wanted:
+            for other in others:
+                collected[other].add(
+                    values[table.schema.column_index(other)]  # type: ignore[arg-type]
+                )
+
+    if table.lsm is not None:
+        for _, payload in table.lsm.scan():
+            db.disk.charge_cpu_records(1)
+            _collect(table.serializer.unpack(payload))
+    else:
+        for _, records in table.heap.scan_pages():
+            db.disk.charge_cpu_records(len(records))
+            for _, payload in records:
+                _collect(table.serializer.unpack(payload))
     for other, found in collected.items():
         out[other] = sorted(found)
     return out
@@ -165,9 +210,27 @@ def find_referencing_keys(
     db: Database, fk: ForeignKey, parent_keys: Sequence[int]
 ) -> List[int]:
     """Child-side keys (values of ``fk.child_column``) that reference
-    any of ``parent_keys`` — found set-oriented and read-only."""
+    any of ``parent_keys`` — found set-oriented and read-only.
+
+    Engine-dispatched: an LSM child probes its own key column point
+    lookups (or merge-scans for a non-key column) instead of the heap,
+    which is empty for LSM tables.
+    """
     child = db.table(fk.child_table)
     wanted = sorted(set(parent_keys))
+    if child.lsm is not None:
+        if fk.child_column == child.lsm_key_column:
+            db.disk.charge_cpu_records(len(wanted))
+            return [key for key in wanted if child.lsm.get(key) is not None]
+        wanted_lsm = set(wanted)
+        column_idx = child.schema.column_index(fk.child_column)
+        found_lsm: Set[int] = set()
+        for _, payload in child.lsm.scan():
+            db.disk.charge_cpu_records(1)
+            value = child.serializer.unpack(payload)[column_idx]
+            if value in wanted_lsm:
+                found_lsm.add(value)  # type: ignore[arg-type]
+        return sorted(found_lsm)
     indexes = child.indexes_on(fk.child_column)
     if indexes:
         probe = collect_index_matches(indexes[0].tree, wanted, db.disk)
@@ -184,21 +247,86 @@ def find_referencing_keys(
     return sorted(found)
 
 
-def bulk_delete_with_integrity(
+def set_null_referencing_rows(
+    db: Database,
+    fk: ForeignKey,
+    keys: Sequence[int],
+    router: Optional["UpdateRouter"] = None,
+    txn: Optional["Transaction"] = None,
+) -> int:
+    """Null-out ``fk.child_column`` in every child row whose value is in
+    ``keys``; returns the number of rows touched.
+
+    With a ``router`` (and its transaction) each victim row is replaced
+    through :class:`~repro.txn.coordinator.UpdateRouter` — delete plus
+    re-insert of the nulled row — so off-line secondary indexes capture
+    the change in their side-files and mid-delete index state stays
+    consistent.  Without one, the set-oriented bulk UPDATE executor
+    rewrites the heap in one pass and merges every affected index.
+    """
+    from repro.core.bulk_update import bulk_update
+
+    child = db.table(fk.child_table)
+    if child.lsm is not None:
+        raise PlanningError(
+            f"SET NULL against LSM table {fk.child_table} is "
+            "unsupported: LSM rows are keyed by "
+            f"{child.lsm_key_column!r} and nulling the key would "
+            "collide every orphan on one key"
+        )
+    wanted = set(keys) - {SET_NULL_VALUE}
+    if not wanted:
+        return 0
+    if router is not None:
+        if txn is None:
+            raise PlanningError(
+                "SET NULL through an UpdateRouter needs the caller's "
+                "transaction"
+            )
+        column_idx = child.schema.column_index(fk.child_column)
+        victims = [
+            (rid, values)
+            for rid, values in db.scan(fk.child_table)
+            if values[column_idx] in wanted
+        ]
+        for rid, values in victims:
+            nulled = list(values)
+            nulled[column_idx] = SET_NULL_VALUE
+            router.delete(txn, fk.child_table, rid)
+            router.insert(txn, fk.child_table, nulled)
+        return len(victims)
+    result = bulk_update(
+        db,
+        fk.child_table,
+        fk.child_column,
+        lambda values: SET_NULL_VALUE,
+        where_column=fk.child_column,
+        where_keys=sorted(wanted),
+    )
+    return result.records_updated
+
+
+def cascade_bulk_delete(
     db: Database,
     constraints: ConstraintRegistry,
     table_name: str,
     column: str,
     keys: Sequence[int],
     options: Optional[BulkDeleteOptions] = None,
+    router: Optional["UpdateRouter"] = None,
+    txn: Optional["Transaction"] = None,
     _visited: Optional[Set[str]] = None,
-) -> Tuple[BulkDeleteResult, IntegrityReport]:
-    """Bulk delete with FK enforcement, constraints checked first.
+) -> Tuple[Union[BulkDeleteResult, "LsmDeleteResult"], IntegrityReport]:
+    """Bulk delete with full FK enforcement, constraints checked first.
 
     Raises :class:`IntegrityViolationError` before any modification when
     a RESTRICT constraint is referenced; CASCADE constraints delete the
-    child rows first (recursively).  Cycles among CASCADE constraints
-    are rejected.
+    child rows first (recursively); SET NULL constraints null-out the
+    referencing child keys (see :func:`set_null_referencing_rows` — a
+    ``router``/``txn`` pair routes the null-outs so off-line index
+    state stays consistent).  Cycles among CASCADE constraints are
+    rejected.  The parent delete is engine-dispatched: heap tables run
+    the vertical executor, LSM tables compile tombstones.
     """
     _visited = _visited if _visited is not None else set()
     if table_name in _visited:
@@ -216,6 +344,7 @@ def bulk_delete_with_integrity(
         {fk.parent_column for fk in fks},
     )
     cascade_work: List[Tuple[ForeignKey, List[int]]] = []
+    null_work: List[Tuple[ForeignKey, List[int]]] = []
     for fk in fks:
         referencing = find_referencing_keys(
             db, fk, referenced_values[fk.parent_column]
@@ -229,21 +358,60 @@ def bulk_delete_with_integrity(
                 f"{fk.child_column} still reference keys being deleted "
                 f"({fk.describe()})"
             )
-        cascade_work.append((fk, referencing))
+        if fk.on_delete is OnDelete.SET_NULL:
+            null_work.append((fk, referencing))
+        else:
+            cascade_work.append((fk, referencing))
     # Phase 2: children first (no dangling references at any point).
     for fk, referencing in cascade_work:
-        child_result, child_report = bulk_delete_with_integrity(
+        child_result, child_report = cascade_bulk_delete(
             db,
             constraints,
             fk.child_table,
             fk.child_column,
             referencing,
             options=options,
+            router=router,
+            txn=txn,
             _visited=_visited | {table_name},
         )
         report.cascaded.append(child_result)
         report.cascaded.extend(child_report.cascaded)
         report.checked.extend(child_report.checked)
-    # Phase 3: the parent itself.
+        report.nulled.extend(child_report.nulled)
+    for fk, referencing in null_work:
+        rows = set_null_referencing_rows(
+            db, fk, referencing, router=router, txn=txn
+        )
+        report.nulled.append((fk.describe(), rows))
+    # Phase 3: the parent itself, on its own storage engine.
+    table = db.table(table_name)
+    if table.lsm is not None:
+        from repro.lsm.engine import lsm_bulk_delete
+
+        return lsm_bulk_delete(db, table_name, column, keys), report
     result = bulk_delete(db, table_name, column, keys, options=options)
+    return result, report
+
+
+def bulk_delete_with_integrity(
+    db: Database,
+    constraints: ConstraintRegistry,
+    table_name: str,
+    column: str,
+    keys: Sequence[int],
+    options: Optional[BulkDeleteOptions] = None,
+    _visited: Optional[Set[str]] = None,
+) -> Tuple[BulkDeleteResult, IntegrityReport]:
+    """Heap-table compatibility wrapper around :func:`cascade_bulk_delete`.
+
+    Kept for callers that predate SET NULL and the LSM dispatch; the
+    result is always a heap :class:`BulkDeleteResult` because the
+    historical surface only ever targeted heap tables.
+    """
+    result, report = cascade_bulk_delete(
+        db, table_name=table_name, constraints=constraints,
+        column=column, keys=keys, options=options, _visited=_visited,
+    )
+    assert isinstance(result, BulkDeleteResult)
     return result, report

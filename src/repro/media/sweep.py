@@ -87,10 +87,11 @@ class MediaSweepReport:
     def summary(self) -> str:
         healed = sum(1 for o in self.outcomes if o.outcome == "healed")
         aborted = sum(1 for o in self.outcomes if o.outcome == "aborted")
+        kinds = len({o.kind for o in self.outcomes}) or 1
         lines = [
             f"durable pages: {self.durable_pages}; points swept: "
             f"{len(self.outcomes)} ({len(self.pages)} pages x "
-            f"{len(READ_FAULT_KINDS)} kinds); healed: {healed}; "
+            f"{kinds} kinds); healed: {healed}; "
             f"clean aborts: {aborted}; failures: {len(self.failures)}"
         ]
         for outcome in self.failures[:10]:

@@ -287,6 +287,45 @@ class Observer:
         self.metrics.counter("media.scrub.failures").inc(failures)
         self.metrics.counter("media.scrub.repaired").inc(repaired)
 
+    # ------------------------------------------------------------------
+    # retention hooks (repro.retention)
+    # ------------------------------------------------------------------
+    def on_retention_run(self, policies: int, nodes: int) -> None:
+        """A retention run started (``retention_begin`` forced)."""
+        self.metrics.counter("retention.runs").inc()
+        self.metrics.counter("retention.policies").inc(policies)
+        self.metrics.counter("retention.nodes").inc(nodes)
+
+    def on_retention_node(self, action: str, records: int) -> None:
+        """One DAG node sealed (``action`` is ``delete``/``set-null``)."""
+        name = action.replace("-", "_")
+        self.metrics.counter(f"retention.node.{name}").inc()
+        self.metrics.counter("retention.records").inc(records)
+
+    def on_retention_resume(self, nodes_skipped: int) -> None:
+        """Restart resumed an open retention run to completion."""
+        self.metrics.counter("retention.resumes").inc()
+        self.metrics.counter("retention.resume.nodes_skipped").inc(
+            nodes_skipped
+        )
+
+    def on_retention_erase(self, pages_shredded: int,
+                           wal_redacted: int) -> None:
+        """The erase phase finished (``retention_erased`` forced)."""
+        self.metrics.counter("retention.erase.runs").inc()
+        self.metrics.counter("retention.erase.pages_shredded").inc(
+            pages_shredded
+        )
+        self.metrics.counter("retention.erase.wal_redacted").inc(wal_redacted)
+
+    def on_retention_audit(self, pages_scanned: int, findings: int) -> None:
+        """One unrecoverability audit finished."""
+        self.metrics.counter("retention.audits").inc()
+        self.metrics.counter("retention.audit.pages_scanned").inc(
+            pages_scanned
+        )
+        self.metrics.counter("retention.audit.findings").inc(findings)
+
 
 class observed:
     """Context manager: attach an :class:`Observer` for the block.

@@ -1,0 +1,63 @@
+"""Retention/compliance deletion: policies, resumable runs, audits.
+
+The subsystem turns the paper's single-statement bulk delete into an
+end-to-end erasure guarantee: a declarative :class:`RetentionPolicy`
+is compiled into a cascading multi-table DAG (:func:`compile_policy`),
+executed crash-resumably (:class:`RecoverableRetentionRun` /
+:func:`recover_retention`), physically erased (the run's erase phase),
+and verified unrecoverable by a forensic sweep
+(:func:`audit_erasure`).  ``repro.retention.sweep`` fault-sweeps the
+whole pipeline.  See ``docs/retention.md``.
+"""
+
+from repro.retention.audit import (
+    ErasureFinding,
+    ErasureReport,
+    ErasureWitness,
+    audit_erasure,
+    build_witness,
+)
+from repro.retention.policy import (
+    RetentionNode,
+    RetentionPlan,
+    RetentionPolicy,
+    compile_policy,
+    resolve_root_keys,
+)
+from repro.retention.run import (
+    EraseReport,
+    RecoverableRetentionRun,
+    RetentionRecoveryReport,
+    RetentionRunReport,
+    recover_retention,
+)
+from repro.retention.sweep import (
+    RetentionScenario,
+    audit_mutation_checks,
+    retention_integrity_problems,
+    retention_media_sweep,
+    retention_sweep,
+)
+
+__all__ = [
+    "ErasureFinding",
+    "ErasureReport",
+    "ErasureWitness",
+    "EraseReport",
+    "RecoverableRetentionRun",
+    "RetentionNode",
+    "RetentionPlan",
+    "RetentionPolicy",
+    "RetentionRecoveryReport",
+    "RetentionRunReport",
+    "RetentionScenario",
+    "audit_erasure",
+    "audit_mutation_checks",
+    "build_witness",
+    "compile_policy",
+    "recover_retention",
+    "resolve_root_keys",
+    "retention_integrity_problems",
+    "retention_media_sweep",
+    "retention_sweep",
+]

@@ -412,6 +412,17 @@ class SimulatedDisk:
         """
         return sorted(pid for pid in self._pages if pid not in self._freed_ids)
 
+    def freed_page_ids(self) -> List[int]:
+        """Freed-but-retained page ids, sorted.
+
+        With ``retain_freed`` (the default) a freed page's last bytes
+        stay readable until something overwrites them — the surface the
+        retention auditor must sweep and the erase pass must shred.
+        With ``retain_freed=False`` the bytes are gone and this is the
+        set of ids whose reads now fail.
+        """
+        return sorted(self._freed_ids)
+
     def verify_page(self, page_id: int) -> bool:
         """Whether the durable bytes match the stored checksum.
 

@@ -212,6 +212,66 @@ def test_every_catalogued_lsm_metric_is_emitted():
     )
 
 
+# ----------------------------------------------------------------------
+# metrics catalogue sync: the retention.* family (docs/observability.md)
+# ----------------------------------------------------------------------
+_RETENTION_EMIT = re.compile(r'(?:counter|timer)\(\s*f?"(retention\.[^"]+)"')
+
+# The expansion of ``on_retention_node``'s f-string action name
+# (``delete``/``set-null``, hyphens mapped to underscores).
+_RETENTION_ACTIONS = ("delete", "set_null")
+
+
+def emitted_retention_metric_names():
+    names = set()
+    for raw in _RETENTION_EMIT.findall(OBSERVER_SRC.read_text()):
+        if "{name}" in raw:
+            names |= {
+                raw.replace("{name}", a) for a in _RETENTION_ACTIONS
+            }
+        else:
+            names.add(raw)
+    return names
+
+
+def documented_retention_metric_names():
+    doc_name = re.compile(r"`(retention\.[a-z_.{},]+)`")
+    names = set()
+    for raw in doc_name.findall(OBS_DOC.read_text()):
+        match = re.fullmatch(r"([a-z_.]+)\{([a-z_,]+)\}", raw)
+        if match:
+            prefix, alts = match.groups()
+            names |= {prefix + alt for alt in alts.split(",")}
+        else:
+            names.add(raw)
+    return names
+
+
+def test_every_emitted_retention_metric_is_catalogued():
+    assert emitted_retention_metric_names(), (
+        "observer hooks must emit retention.*"
+    )
+    missing = (
+        emitted_retention_metric_names()
+        - documented_retention_metric_names()
+    )
+    assert not missing, (
+        f"retention metrics with no catalog row in observability.md: "
+        f"{sorted(missing)}"
+    )
+
+
+def test_every_catalogued_retention_metric_is_emitted():
+    phantom = (
+        documented_retention_metric_names()
+        - emitted_retention_metric_names()
+    )
+    assert not phantom, (
+        f"observability.md catalogues retention metrics the observer "
+        f"never emits: {sorted(phantom)}"
+    )
+
+
 def test_rule_namespaces_are_disjoint():
     # A plan/code/effect prefix states which checker owns the rule;
     # one id must never be registered by two checkers.

@@ -1,0 +1,161 @@
+"""Tests for ON DELETE SET NULL in the FK-guarded bulk delete path.
+
+Covers the plain (set-oriented bulk UPDATE) null-out, the routed
+variant through :class:`~repro.txn.coordinator.UpdateRouter` (so
+off-line secondary indexes see the change via their side-files),
+engine dispatch to an LSM child, and the guard rails: RESTRICT still
+aborts first, and SET NULL against an LSM child is rejected because
+nulling its key would collide every orphan on one key.
+"""
+
+import pytest
+
+from repro import Attribute, Database, TableSchema
+from repro.btree.maintenance import validate_tree
+from repro.core.integrity import (
+    SET_NULL_VALUE,
+    ConstraintRegistry,
+    OnDelete,
+    cascade_bulk_delete,
+    set_null_referencing_rows,
+)
+from repro.errors import IntegrityViolationError, PlanningError
+from repro.txn.coordinator import BulkDeleteCoordinator, UpdateRouter
+
+
+def build():
+    db = Database(page_size=512, memory_bytes=64 * 1024)
+    db.create_table(TableSchema.of("P", [
+        Attribute.int_("K"), Attribute.int_("X"),
+    ]))
+    db.load_table("P", [(k, 10 * k) for k in range(1, 11)])
+    db.create_index("P", "K", unique=True)
+    db.create_table(TableSchema.of("C", [
+        Attribute.int_("PK"), Attribute.int_("B"),
+    ]))
+    db.load_table("C", [(k, 100 + k) for k in range(1, 11)])
+    db.create_index("C", "PK")
+    db.create_index("C", "B")
+    registry = ConstraintRegistry(db)
+    registry.add_foreign_key("C", "PK", "P", "K", OnDelete.SET_NULL)
+    return db, registry
+
+
+def child_pks(db):
+    idx = db.table("C").schema.column_index("PK")
+    return sorted(values[idx] for _, values in db.scan("C"))
+
+
+def test_cascade_delete_nulls_referencing_rows():
+    db, registry = build()
+    result, report = cascade_bulk_delete(db, registry, "P", "K", [2, 3, 4])
+    assert result.records_deleted == 3
+    assert report.nulled == [
+        ("C.PK -> P.K ON DELETE SET-NULL", 3)
+    ]
+    # Child rows survive with nulled references; indexes follow.
+    assert child_pks(db) == [SET_NULL_VALUE] * 3 + [1] + list(range(5, 11))
+    tree = db.table("C").index("I_C_PK").tree
+    validate_tree(tree)
+    assert not any(tree.contains(k) for k in (2, 3, 4))
+    assert tree.contains(SET_NULL_VALUE)
+
+
+def test_restrict_is_checked_before_any_null_out():
+    db, registry = build()
+    db.create_table(TableSchema.of("D", [Attribute.int_("DK")]))
+    db.load_table("D", [(2,)])
+    db.create_index("D", "DK")
+    registry.add_foreign_key("D", "DK", "P", "K", OnDelete.RESTRICT)
+    before = child_pks(db)
+    with pytest.raises(IntegrityViolationError):
+        cascade_bulk_delete(db, registry, "P", "K", [2, 3])
+    # Phase 1 (all checks) runs before phase 2 (any modification):
+    # the SET NULL edge did not fire and the parent rows survive.
+    assert child_pks(db) == before
+    assert sorted(v[0] for _, v in db.scan("P")) == list(range(1, 11))
+
+
+def test_set_null_skips_already_null_references():
+    db, registry = build()
+    set_null_referencing_rows(
+        db, registry.all_constraints()[0], [5, 6]
+    )
+    # A second pass over the same keys (plus the null sentinel itself)
+    # finds nothing left to touch.
+    touched = set_null_referencing_rows(
+        db, registry.all_constraints()[0], [5, 6, SET_NULL_VALUE]
+    )
+    assert touched == 0
+
+
+def test_set_null_routed_through_update_router():
+    # Mid-protocol null-out: after the coordinator's critical phase the
+    # secondary index I_C_B is off-line; the routed delete+reinsert
+    # must queue there via the side-file and land when it is processed.
+    db, registry = build()
+    fk = registry.all_constraints()[0]
+    coord = BulkDeleteCoordinator(db, "C", "PK", [9, 10])
+    coord.begin()
+    coord.process_critical_phase()
+    coord.commit_critical()
+    assert not db.table("C").index("I_C_B").is_online
+    router = UpdateRouter(db, coord)
+    txn = coord.tm.begin()
+    touched = set_null_referencing_rows(
+        db, fk, [1, 2], router=router, txn=txn
+    )
+    coord.tm.commit(txn)
+    assert touched == 2
+    coord.process_index("I_C_B")
+    table = db.table("C")
+    assert child_pks(db) == sorted([SET_NULL_VALUE] * 2 + list(range(3, 9)))
+    for name in ("I_C_PK", "I_C_B"):
+        tree = table.index(name).tree
+        validate_tree(tree)
+        assert tree.entry_count == table.record_count
+
+
+def test_set_null_router_requires_a_transaction():
+    db, registry = build()
+    coord = BulkDeleteCoordinator(db, "C", "PK", [9])
+    router = UpdateRouter(db, coord)
+    with pytest.raises(PlanningError):
+        set_null_referencing_rows(
+            db, registry.all_constraints()[0], [1], router=router
+        )
+
+
+def test_cascade_into_lsm_child():
+    db, registry = build()
+    db.create_table(
+        TableSchema.of("E", [
+            Attribute.int_("EK"), Attribute.char("PAY", 8),
+        ]),
+        engine="lsm",
+        key_column="EK",
+    )
+    db.load_table("E", [(k, f"e{k}") for k in range(1, 11)])
+    registry.add_foreign_key("E", "EK", "P", "K", OnDelete.CASCADE)
+    result, report = cascade_bulk_delete(db, registry, "P", "K", [1, 2])
+    assert result.records_deleted == 2
+    assert len(report.cascaded) == 1
+    remaining = sorted(values[0] for _, values in db.scan("E"))
+    assert remaining == list(range(3, 11))
+    # The SET NULL edge fired alongside the LSM cascade.
+    assert child_pks(db).count(SET_NULL_VALUE) == 2
+
+
+def test_set_null_against_lsm_child_is_rejected():
+    db, registry = build()
+    db.create_table(
+        TableSchema.of("E", [
+            Attribute.int_("EK"), Attribute.char("PAY", 8),
+        ]),
+        engine="lsm",
+        key_column="EK",
+    )
+    db.load_table("E", [(1, "e1")])
+    registry.add_foreign_key("E", "EK", "P", "K", OnDelete.SET_NULL)
+    with pytest.raises(PlanningError, match="SET NULL against LSM"):
+        cascade_bulk_delete(db, registry, "P", "K", [1])

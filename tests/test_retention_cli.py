@@ -1,0 +1,65 @@
+"""CLI tests: `repro retention` and the machine-readable faultsweep.
+
+A PR satellite: ``repro faultsweep --format json`` follows the same
+conventions as ``repro lint --format json`` (one JSON document on
+stdout, an ``ok`` key, exit status mirrors it) so CI can assert on
+exact point counts instead of scraping summary text.
+"""
+
+import json
+
+from repro.cli import main as cli_main
+
+
+def run_json(capsys, argv):
+    code = cli_main(argv)
+    return code, json.loads(capsys.readouterr().out)
+
+
+def test_faultsweep_json_reports_point_counts(capsys):
+    code, data = run_json(
+        capsys, ["faultsweep", "--max-points", "3", "--format", "json"]
+    )
+    assert code == 0
+    assert data["sweep"] == "crash"
+    assert data["ok"] is True
+    assert data["failures"] == 0
+    assert len(data["points"]) == 3
+    # Double-crash runs add outcomes beyond the base points.
+    assert len(data["outcomes"]) >= 3
+    assert data["durable_events"] > 3
+    assert all(not o["problems"] for o in data["outcomes"])
+
+
+def test_faultsweep_retention_json(capsys):
+    code, data = run_json(
+        capsys,
+        ["faultsweep", "--retention", "--max-points", "3",
+         "--format", "json"],
+    )
+    assert code == 0
+    assert data["sweep"] == "retention"
+    assert data["ok"] is True
+    crash, media = data["crash"], data["media"]
+    assert crash["sweep"] == "retention-crash"
+    assert crash["failures"] == 0 and len(crash["points"]) == 3
+    assert media["sweep"] == "retention-media"
+    assert media["failures"] == 0 and len(media["pages"]) == 3
+    assert data["mutations"] == {"ok": True, "checks": 4, "failures": []}
+
+
+def test_faultsweep_text_summary_unchanged(capsys):
+    assert cli_main(["faultsweep", "--max-points", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "durable events:" in out
+    assert "failures: 0" in out
+
+
+def test_retention_demo_prints_dag_and_audit(capsys):
+    assert cli_main(["retention"]) == 0
+    out = capsys.readouterr().out
+    assert "policy subject-erasure" in out
+    assert "policy order-expiry" in out
+    assert "restricted (untouched): audits" in out
+    assert "0 finding(s)" in out
+    assert "retention.runs = 1" in out
